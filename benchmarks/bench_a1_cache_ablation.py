@@ -1,0 +1,113 @@
+"""A1 ablation: cache eviction policy x trace shape, and consistency cost.
+
+DESIGN.md calls out the eviction-policy and consistency-protocol choices
+behind Section III's caching claims.  We sweep {LRU, LFU, 2Q, TTL} over
+{Zipf, looping, shifting} traces, and replay a read/write mix under the
+three consistency protocols.  Expected shapes: LFU >= LRU on stable Zipf;
+LRU collapses on looping scans where 2Q survives; LFU degrades on
+shifting popularity; invalidation gives zero staleness at the highest
+message cost, TTL the reverse, leases in between.
+"""
+
+import pytest
+
+from repro.caching import ConsistencyHarness, make_cache
+from repro.cloudsim import SimClock
+from repro.workloads import (
+    looping_trace,
+    mixed_read_write_trace,
+    shifting_trace,
+    zipf_trace,
+    zipf_with_scans_trace,
+)
+
+from conftest import show
+
+N_ITEMS = 400
+TRACE_LEN = 12_000
+CAPACITY = 100
+
+
+def _hit_ratio(policy, trace):
+    clock = SimClock()
+    cache = make_cache(policy, CAPACITY, ttl_s=1e9, clock=clock)
+    for key in trace:
+        if cache.get(key) is None:
+            cache.put(key, key)
+    return cache.stats.hit_ratio
+
+
+@pytest.mark.benchmark(group="a1-cache-ablation")
+def test_a1_policy_matrix(benchmark):
+    """Hit ratio for every policy on every trace shape."""
+    traces = {
+        "zipf": zipf_trace(N_ITEMS, TRACE_LEN, skew=1.0, seed=1),
+        "looping": looping_trace(CAPACITY + 20, TRACE_LEN),
+        "scans": zipf_with_scans_trace(150, TRACE_LEN, skew=1.1,
+                                       scan_every=1500, scan_length=250,
+                                       seed=2),
+        "shifting": shifting_trace(N_ITEMS, TRACE_LEN, phases=4, seed=2),
+    }
+    policies = ("lru", "lfu", "2q", "ttl")
+
+    def run_matrix():
+        return {(policy, name): _hit_ratio(policy, trace)
+                for policy in policies
+                for name, trace in traces.items()}
+
+    matrix = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    rows = []
+    for policy in policies:
+        cells = "  ".join(f"{name}={matrix[(policy, name)]:.2%}"
+                          for name in traces)
+        rows.append(f"{policy:<4} {cells}")
+    show("A1: hit ratio by policy x trace", rows)
+
+    # Expected shapes.
+    assert matrix[("lfu", "zipf")] >= matrix[("lru", "zipf")] - 0.01
+    assert matrix[("lru", "looping")] < 0.05      # classic LRU loop collapse
+    # Cache-pollution resistance: the probation queue shields the hot set.
+    assert matrix[("2q", "scans")] > matrix[("lru", "scans")]
+    assert matrix[("lru", "shifting")] >= matrix[("lfu", "shifting")] - 0.01
+
+
+@pytest.mark.benchmark(group="a1-cache-ablation")
+def test_a1_consistency_protocols(benchmark):
+    """Staleness vs. protocol messages on one read/write mix."""
+    operations = mixed_read_write_trace(50, 6000, write_fraction=0.05,
+                                        seed=3)
+
+    def replay(protocol):
+        harness = ConsistencyHarness(protocol, num_caches=4, ttl_s=30.0,
+                                     lease_s=30.0)
+        for i in range(50):
+            harness.write(i, f"v0-{i}")
+        for step, (op, key) in enumerate(operations):
+            if op == "write":
+                harness.write(key, f"v{step}")
+            else:
+                harness.read(step % 4, key)
+            harness.advance(0.5)
+        return harness.report()
+
+    def run_all():
+        return {protocol: replay(protocol)
+                for protocol in ("ttl", "invalidate", "lease")}
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [f"{name:<10} stale {report.stale_ratio:6.2%}  "
+            f"messages {report.protocol_messages:>6}  "
+            f"origin fetches {report.origin_fetches:>6}"
+            for name, report in reports.items()]
+    show("A1: consistency protocol trade-off", rows)
+
+    assert reports["invalidate"].stale_reads == 0
+    # TTL and leases bound staleness by the same window; the lease's win
+    # is traffic — version checks replace most full refetches.
+    assert reports["lease"].stale_ratio <= reports["ttl"].stale_ratio
+    assert reports["lease"].origin_fetches < reports["ttl"].origin_fetches / 2
+    assert reports["ttl"].protocol_messages == 0
+    assert reports["invalidate"].protocol_messages > 0
+    assert reports["lease"].protocol_messages > 0
+    assert reports["invalidate"].stale_ratio < reports["ttl"].stale_ratio

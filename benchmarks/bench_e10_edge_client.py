@@ -1,0 +1,128 @@
+"""E10 (Section III-A): enhanced-client edge execution vs. server round trips.
+
+"Allowing processing to take place at the clients conceptually moves
+computing to the edges of networks.  It offloads computing from servers
+... It can also improve performance by allowing certain computations to
+take place at the client without the need to incur latency for
+communication with a remote cloud server."
+
+We run an inference workload (a) at the server over WANs of increasing
+latency, (b) locally on the enhanced client, and measure the offline
+queue's behaviour.  Expected shape: local execution wins whenever the
+WAN round trip exceeds the local compute cost; the crossover moves with
+compute weight; offline operation loses no uploads.
+"""
+
+import pytest
+
+from repro.caching import LruCache
+from repro.client import BasicClient, EnhancedClient, PlatformConnection
+from repro.cloudsim import NetworkFabric, SimClock
+
+from conftest import show
+
+N_CALLS = 200
+
+
+def _fabric(wan_latency_s):
+    clock = SimClock()
+    fabric = NetworkFabric(clock)
+    fabric.add_endpoint("client")
+    fabric.add_endpoint("server")
+    fabric.connect("client", "server", latency_s=wan_latency_s,
+                   bandwidth_bps=12.5e6)
+    return fabric
+
+
+def _connection(fabric):
+    connection = PlatformConnection(fabric, "client", "server")
+    connection.register_handler("/analytics/run",
+                                lambda body: {"score": body.get("x", 0) * 2})
+    return connection
+
+
+@pytest.mark.benchmark(group="e10-edge")
+def test_e10_latency_sweep(benchmark):
+    """Simulated time for N inferences: remote vs edge, across WAN RTTs."""
+    local_compute = 2e-3  # the model costs 2 ms on client silicon
+
+    def sweep():
+        rows = []
+        for wan_ms in (5, 20, 80):
+            fabric = _fabric(wan_ms * 1e-3)
+            connection = _connection(fabric)
+            thin = BasicClient(connection)
+            start = fabric.clock.now
+            for i in range(N_CALLS):
+                thin.run_model("risk", {"x": i})
+            remote_time = fabric.clock.now - start
+
+            fabric2 = _fabric(wan_ms * 1e-3)
+            connection2 = _connection(fabric2)
+            edge = EnhancedClient(connection2,
+                                  local_compute_cost_s=local_compute)
+            edge.install_model("risk", lambda payload: payload["x"] * 2)
+            start = fabric2.clock.now
+            for i in range(N_CALLS):
+                edge.run_model("risk", {"x": i})
+            edge_time = fabric2.clock.now - start
+            rows.append((wan_ms, remote_time, edge_time))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    printable = [f"WAN {wan:>3} ms: remote {remote:6.2f}s vs edge "
+                 f"{edge:5.2f}s  ({remote / edge:5.1f}x)"
+                 for wan, remote, edge in rows]
+    show(f"E10: {N_CALLS} inferences, simulated time", printable)
+    for wan, remote, edge in rows:
+        assert edge < remote  # local compute (2ms) < every tested RTT
+    # The edge advantage grows with WAN latency.
+    ratios = [remote / edge for _, remote, edge in rows]
+    assert ratios == sorted(ratios)
+
+
+@pytest.mark.benchmark(group="e10-edge")
+def test_e10_client_cache_offload(benchmark):
+    """Server request count drops by the client hit ratio."""
+    fabric = _fabric(40e-3)
+    connection = PlatformConnection(fabric, "client", "server")
+    connection.register_handler("/kb/get", lambda body: f"v-{body['key']}")
+    client = EnhancedClient(connection, cache=LruCache(64))
+    from repro.workloads import zipf_trace
+    trace = zipf_trace(200, 2000, skew=1.1, seed=9)
+
+    def run():
+        connection.requests_sent = 0
+        client.cache.clear()
+        for key in trace:
+            client.fetch("/kb/get", str(key))
+        return connection.requests_sent
+
+    requests = benchmark.pedantic(run, rounds=2, iterations=1)
+    offload = 1 - requests / len(trace)
+    show("E10: server offload from client caching",
+         [f"{len(trace)} lookups -> {requests} server requests "
+          f"({offload:.0%} offloaded)"])
+    assert offload > 0.5
+
+
+@pytest.mark.benchmark(group="e10-edge")
+def test_e10_disconnected_operation(benchmark):
+    """Offline burst: everything queues, nothing lost, order preserved."""
+
+    def run():
+        fabric = _fabric(40e-3)
+        connection = PlatformConnection(fabric, "client", "server")
+        received = []
+        connection.register_handler(
+            "/upload", lambda body: received.append(body["n"]) or "ok")
+        client = EnhancedClient(connection)
+        connection.go_offline()
+        for n in range(50):
+            client.upload("/upload", {"n": n})
+        connection.go_online()
+        client.drain_queue()
+        return received
+
+    received = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert received == list(range(50))

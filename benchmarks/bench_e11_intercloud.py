@@ -1,0 +1,123 @@
+"""E11 (Section II-C): computation-to-data vs. data-to-computation.
+
+"This allows the computation to be transferred to data instead of
+otherwise, thereby making it very efficient and secured."
+
+We ship a 5 MB signed analytics container against datasets from 10 MB to
+1 GB across a simulated inter-region link, both directions, including the
+attestation cost at workload start.  Expected shape: container-to-data
+wins whenever data > container size, with the ratio tracking
+data_size / container_size; the crossover sits at data == container.
+"""
+
+import pytest
+
+from repro.cloudsim import (
+    Host,
+    NetworkFabric,
+    SoftwareComponent,
+    VirtualMachine,
+)
+from repro.crypto.rsa import generate_keypair
+from repro.gateway import (
+    CloudInstance,
+    IntercloudGateway,
+    TrustedAuthoringEnvironment,
+)
+from repro.trusted import AttestationService, TrustedBootOrchestrator
+
+from conftest import show
+
+CONTAINER_BYTES = 5_000_000
+
+
+def _make_cloud(name, seed):
+    attestation = AttestationService(seed=seed)
+    orchestrator = TrustedBootOrchestrator(attestation, seed=seed)
+    host = Host(f"{name}-host", bios=SoftwareComponent("bios", b"b"),
+                hypervisor=SoftwareComponent("kvm", b"k"))
+    host.start()
+    orchestrator.boot_host(host)
+    vm = VirtualMachine(f"{name}-vm",
+                        bios=SoftwareComponent("sb", b"s"),
+                        kernel=SoftwareComponent("linux", b"l"),
+                        image=SoftwareComponent("ubuntu", b"u"))
+    host.launch_vm(vm)
+    orchestrator.boot_vm(host.host_id, vm)
+    return CloudInstance(name=name, orchestrator=orchestrator,
+                         host_id=host.host_id, vm=vm)
+
+
+def _gateway():
+    key = generate_keypair(bits=1024, seed=80)
+    authoring = TrustedAuthoringEnvironment(key)
+    authoring.register_entrypoint("size", lambda p: len(p["data"]))
+    fabric = NetworkFabric()
+    fabric.add_endpoint("cloud-a")
+    fabric.add_endpoint("cloud-b")
+    fabric.connect("cloud-a", "cloud-b", latency_s=0.06,
+                   bandwidth_bps=125e6)
+    gateway = IntercloudGateway(fabric, authoring, key.public_key())
+    cloud_a = _make_cloud("cloud-a", 81)
+    cloud_b = _make_cloud("cloud-b", 82)
+    gateway.register_cloud(cloud_a)
+    gateway.register_cloud(cloud_b)
+    return gateway, authoring, cloud_a, cloud_b
+
+
+@pytest.mark.benchmark(group="e11-intercloud")
+def test_e11_direction_sweep(benchmark):
+    """Transfer-time ratio across dataset sizes, both directions."""
+
+    def sweep():
+        gateway, authoring, cloud_a, cloud_b = _gateway()
+        rows = []
+        for data_mb in (1, 5, 50, 500):
+            data = b"x" * (data_mb * 1_000_000)
+            cloud_b.datasets[f"ds-{data_mb}"] = data
+            container = authoring.build(f"wl-{data_mb}", "size", ("numpy",),
+                                        payload_size_bytes=CONTAINER_BYTES)
+            to_data = gateway.ship_container(container, "cloud-a", "cloud-b",
+                                             f"ds-{data_mb}")
+            to_compute = gateway.ship_data("cloud-b", "cloud-a",
+                                           f"ds-{data_mb}", "size")
+            rows.append((data_mb, to_data.transfer_time_s,
+                         to_compute.transfer_time_s))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    printable = []
+    for data_mb, to_data, to_compute in rows:
+        ratio = to_compute / to_data
+        printable.append(
+            f"data {data_mb:>4} MB: container->data {to_data:6.2f}s, "
+            f"data->compute {to_compute:7.2f}s  (ratio {ratio:6.2f})")
+    show("E11: transfer time by direction (5 MB container)", printable)
+
+    for data_mb, to_data, to_compute in rows:
+        if data_mb * 1_000_000 > CONTAINER_BYTES:
+            assert to_data < to_compute
+        elif data_mb * 1_000_000 < CONTAINER_BYTES:
+            assert to_compute < to_data
+    # The advantage scales with the size gap.
+    ratios = [to_compute / to_data for _, to_data, to_compute in rows]
+    assert ratios == sorted(ratios)
+
+
+@pytest.mark.benchmark(group="e11-intercloud")
+def test_e11_attestation_overhead(benchmark):
+    """Remote attestation at workload start is a fixed, small cost."""
+    gateway, authoring, cloud_a, cloud_b = _gateway()
+    cloud_b.datasets["ds"] = b"x" * 1_000_000
+    counter = [0]
+
+    def ship():
+        counter[0] += 1
+        container = authoring.build(f"wl-{counter[0]}", "size", ("numpy",),
+                                    payload_size_bytes=CONTAINER_BYTES)
+        return gateway.ship_container(container, "cloud-a", "cloud-b", "ds")
+
+    report = benchmark.pedantic(ship, rounds=3, iterations=1)
+    assert report.attested
+    show("E11: per-shipment cost includes signature verification + two "
+         "cloud attestations + start-time attestation", [])

@@ -1,0 +1,141 @@
+"""E3 (Fig. 4 + Section I): multi-level caching vs. remote access.
+
+The paper's claim: "The cost for accessing data from remote cloud servers
+can be orders of magnitude higher than the cost for accessing data
+locally ... Caching can thus dramatically improve performance.  Our
+system employs caching at multiple levels."
+
+We replay a Zipf trace over knowledge-base entries through (a) no cache,
+(b) client-only, (c) server-only, (d) the full client+server hierarchy,
+sweep the client cache size, and report simulated mean latency and hit
+ratios.  Expected shape: local hit >= 2 orders of magnitude cheaper than
+a WAN fetch; latency falls monotonically with cache size; two levels beat
+one at equal total capacity.
+"""
+
+import pytest
+
+from repro.caching import CacheHierarchy, CacheLevel, LruCache, Origin
+from repro.cloudsim import SimClock
+from repro.workloads import zipf_trace
+
+from conftest import show
+
+N_ITEMS = 500
+TRACE_LEN = 8_000
+CLIENT_COST = 50e-6
+SERVER_COST = 2e-3
+WAN_COST = 80e-3
+
+
+def _run_config(levels_spec, trace):
+    clock = SimClock()
+    levels = [CacheLevel(name, LruCache(size), cost)
+              for name, size, cost in levels_spec]
+    hierarchy = CacheHierarchy(
+        levels,
+        Origin("kb", loader=lambda k: f"v{k}", access_cost_s=WAN_COST),
+        clock=clock)
+    for key in trace:
+        hierarchy.get(key)
+    mean_latency = clock.now / len(trace)
+    return mean_latency, hierarchy.overall_hit_ratio()
+
+
+@pytest.mark.benchmark(group="fig4-caching")
+def test_fig4_architecture_comparison(benchmark):
+    """No-cache vs client vs server vs multi-level, same Zipf trace."""
+    trace = zipf_trace(N_ITEMS, TRACE_LEN, skew=1.0, seed=3)
+
+    # Configurations (client=64, server=256 entries).
+    configs = {
+        "client+server": [("client", 64, CLIENT_COST),
+                          ("server", 256, SERVER_COST)],
+        "client-only": [("client", 64, CLIENT_COST)],
+        "server-only": [("server", 256, SERVER_COST)],
+        "no-cache": [("client", 1, CLIENT_COST)],
+    }
+
+    def measure_all():
+        return {name: _run_config(spec, trace)
+                for name, spec in configs.items()}
+
+    results = benchmark.pedantic(measure_all, rounds=2, iterations=1)
+
+    rows = []
+    for name, (latency, hit_ratio) in results.items():
+        rows.append(f"{name:<14} mean {latency * 1e3:7.3f} ms   "
+                    f"hit ratio {hit_ratio:.2%}")
+        benchmark.extra_info[f"{name}_mean_ms"] = latency * 1e3
+    show("E3: mean simulated latency per lookup (Zipf 1.0)", rows)
+
+    # Expected shapes.
+    assert results["client+server"][0] < results["server-only"][0]
+    assert results["client+server"][0] < results["no-cache"][0] / 5
+    # A client hit is >= 3 orders of magnitude cheaper than the WAN fetch.
+    assert WAN_COST / CLIENT_COST >= 1000
+
+
+@pytest.mark.benchmark(group="fig4-caching")
+def test_fig4_cache_size_sweep(benchmark):
+    """Latency falls monotonically (within noise) with client cache size."""
+    trace = zipf_trace(N_ITEMS, TRACE_LEN, skew=1.0, seed=4)
+    sizes = [8, 32, 128, 512]
+
+    def sweep():
+        return [
+            _run_config([("client", size, CLIENT_COST),
+                         ("server", 256, SERVER_COST)], trace)[0]
+            for size in sizes
+        ]
+
+    latencies = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    show("E3: client cache size sweep",
+         [f"size {size:>4}: {latency * 1e3:7.3f} ms"
+          for size, latency in zip(sizes, latencies)])
+    for smaller, larger in zip(latencies, latencies[1:]):
+        assert larger <= smaller * 1.02  # monotone within 2%
+
+
+@pytest.mark.benchmark(group="fig4-caching")
+def test_fig4_multilevel_vs_single_equal_capacity(benchmark):
+    """Two levels beat one level of the same total capacity when the
+    server tier is shared by several clients (its cache sees the union)."""
+    trace_a = zipf_trace(N_ITEMS, TRACE_LEN // 2, skew=1.0, seed=5)
+    trace_b = zipf_trace(N_ITEMS, TRACE_LEN // 2, skew=1.0, seed=6)
+
+    def run():
+        # Shared server cache + two small client caches, versus one flat
+        # client cache of the combined size per client.
+        clock = SimClock()
+        server = LruCache(192)
+        total_multi = 0.0
+        for trace in (trace_a, trace_b):
+            hierarchy = CacheHierarchy(
+                [CacheLevel("client", LruCache(32), CLIENT_COST),
+                 CacheLevel("server", server, SERVER_COST)],
+                Origin("kb", loader=lambda k: k, access_cost_s=WAN_COST),
+                clock=clock)
+            start = clock.now
+            for key in trace:
+                hierarchy.get(key)
+            total_multi += clock.now - start
+
+        flat_clock = SimClock()
+        total_flat = 0.0
+        for trace in (trace_a, trace_b):
+            hierarchy = CacheHierarchy(
+                [CacheLevel("client", LruCache(128), CLIENT_COST)],
+                Origin("kb", loader=lambda k: k, access_cost_s=WAN_COST),
+                clock=flat_clock)
+            start = flat_clock.now
+            for key in trace:
+                hierarchy.get(key)
+            total_flat += flat_clock.now - start
+        return total_multi, total_flat
+
+    total_multi, total_flat = benchmark.pedantic(run, rounds=2, iterations=1)
+    show("E3: shared-server hierarchy vs flat client caches",
+         [f"multi-level total: {total_multi:.2f} s simulated",
+          f"flat client total: {total_flat:.2f} s simulated"])
+    assert total_multi < total_flat

@@ -1,0 +1,107 @@
+"""E4 (Fig. 5): cost of building and verifying the container trust chain.
+
+Fig. 5's secure container cloud extends the hardware root of trust
+through hypervisor, VM, and vTPM to containers.  We measure (a) the
+measured-boot cost per layer, (b) one full remote-attestation round
+(nonce -> quote -> appraisal), and (c) the chain-establishment cost as
+containers accumulate.  Expected shape: attestation is milliseconds (RSA
+sign + verify dominated), constant per round, and scales linearly in the
+number of measured layers.
+"""
+
+import pytest
+
+from repro.cloudsim import Host, SoftwareComponent, VirtualMachine
+from repro.trusted import AttestationService, TrustedBootOrchestrator
+
+from conftest import show
+
+
+def _fresh_stack(seed=21):
+    attestation = AttestationService(seed=seed)
+    orchestrator = TrustedBootOrchestrator(attestation, seed=seed)
+    host = Host("bench-host",
+                bios=SoftwareComponent("bios", b"b1"),
+                hypervisor=SoftwareComponent("kvm", b"k1"))
+    host.start()
+    return attestation, orchestrator, host
+
+
+def _boot_vm(orchestrator, host, vm_id="bench-vm"):
+    vm = VirtualMachine(vm_id,
+                        bios=SoftwareComponent("seabios", b"s1"),
+                        kernel=SoftwareComponent("linux", b"k5"),
+                        image=SoftwareComponent("ubuntu", b"u22"))
+    host.launch_vm(vm)
+    orchestrator.boot_vm(host.host_id, vm)
+    return vm
+
+
+@pytest.mark.benchmark(group="fig5-attestation")
+def test_fig5_measured_boot_host(benchmark):
+    """Host layer: CRTM -> BIOS -> hypervisor measurements + enrollment."""
+
+    counter = [0]
+
+    def boot():
+        counter[0] += 1
+        attestation, orchestrator, host = _fresh_stack(seed=counter[0])
+        return orchestrator.boot_host(host)
+
+    trusted = benchmark(boot)
+    assert trusted.tpm.read_pcr(0) != "00" * 32
+
+
+@pytest.mark.benchmark(group="fig5-attestation")
+def test_fig5_remote_attestation_round(benchmark):
+    """One nonce -> quote -> appraise round against a booted VM."""
+    attestation, orchestrator, host = _fresh_stack()
+    orchestrator.boot_host(host)
+    vm = _boot_vm(orchestrator, host)
+
+    result = benchmark(orchestrator.attest_vm, host.host_id, vm.vm_id)
+    assert result.trusted
+
+
+@pytest.mark.benchmark(group="fig5-attestation")
+def test_fig5_chain_to_containers(benchmark):
+    """Full chain: boot host + VM, launch N containers, attest everything."""
+    N_CONTAINERS = 5
+    counter = [0]
+
+    def establish_chain():
+        counter[0] += 1
+        attestation, orchestrator, host = _fresh_stack(seed=100 + counter[0])
+        orchestrator.boot_host(host)
+        vm = _boot_vm(orchestrator, host)
+        for i in range(N_CONTAINERS):
+            orchestrator.launch_trusted_container(
+                host.host_id, vm,
+                SoftwareComponent(f"workload-{i}", f"w{i}".encode()))
+        return orchestrator.chain_report(host.host_id, vm.vm_id)
+
+    report = benchmark.pedantic(establish_chain, rounds=3, iterations=1)
+    assert report == {"host": True, "vm": True, "containers": True}
+    show("E4: trust chain layers", [
+        "host boot: 3 PCR extends + enrollment",
+        "vm boot: host attestation + 4 PCR extends + enrollment",
+        f"{N_CONTAINERS} containers: attestation + extend + golden update "
+        "each",
+        "expected shape: cost linear in measured layers; "
+        "attestation ms-scale (RSA sign+verify)",
+    ])
+
+
+@pytest.mark.benchmark(group="fig5-attestation")
+def test_fig5_tamper_detection_cost(benchmark):
+    """Detecting a compromised kernel costs one ordinary attestation."""
+    attestation, orchestrator, host = _fresh_stack(seed=55)
+    orchestrator.boot_host(host)
+    vm = _boot_vm(orchestrator, host)
+    vtpm = orchestrator.host_of(host.host_id).vtpm_manager.instance_for(
+        vm.vm_id)
+    vtpm.extend(9, "rootkit", "ff" * 32)
+
+    result = benchmark(orchestrator.attest_vm, host.host_id, vm.vm_id)
+    assert not result.trusted
+    assert 9 in result.mismatched_pcrs

@@ -1,0 +1,69 @@
+"""Enhanced client at the network edge (Sections I, III-A; Fig. 4).
+
+Shows the three enhanced-client behaviours the paper motivates:
+
+1. client-side caching makes repeat KB lookups ~3 orders of magnitude
+   cheaper than WAN fetches;
+2. approved models pushed to the client run locally — no round trip,
+   and they keep working offline;
+3. uploads queue while disconnected and drain on reconnect.
+
+Run:  python examples/edge_offline_client.py
+"""
+
+from repro.caching import LruCache
+from repro.client import EnhancedClient, PlatformConnection
+from repro.cloudsim import standard_topology
+
+
+def main() -> None:
+    fabric = standard_topology()
+    connection = PlatformConnection(fabric, "client", "cloud-a")
+    knowledge = {f"gene-{i}": f"diseases linked to gene {i}"
+                 for i in range(100)}
+    connection.register_handler("/kb/get",
+                                lambda body: knowledge.get(body["key"]))
+    uploads = []
+    connection.register_handler(
+        "/measurements", lambda body: uploads.append(body) or "accepted")
+
+    client = EnhancedClient(connection, cache=LruCache(256))
+
+    # 1. caching
+    clock = fabric.clock
+    t0 = clock.now
+    client.fetch("/kb/get", "gene-7")
+    cold = clock.now - t0
+    t0 = clock.now
+    client.fetch("/kb/get", "gene-7")
+    warm = clock.now - t0
+    print(f"KB fetch: cold {cold * 1e3:.1f} ms over WAN, "
+          f"warm {warm * 1e6:.0f} us from client cache "
+          f"({cold / max(warm, 1e-9):,.0f}x faster)")
+
+    # 2. edge model execution
+    client.install_model("hba1c-risk",
+                         lambda p: "elevated" if p["hba1c"] > 6.5 else "normal")
+    t0 = clock.now
+    verdict = client.run_model("hba1c-risk", {"hba1c": 7.4})
+    print(f"edge model verdict: {verdict} "
+          f"(computed locally in {clock.now - t0:.6f}s simulated, "
+          f"{client.local_model_runs} local runs, 0 round trips)")
+
+    # 3. offline operation
+    connection.go_offline()
+    print("\nclient disconnected (subway, flight, rural clinic)...")
+    for hour, value in enumerate([6.9, 7.1, 7.0]):
+        client.upload("/measurements", {"hour": hour, "hba1c": value})
+    print(f"  model still works offline: "
+          f"{client.run_model('hba1c-risk', {'hba1c': 6.1})}")
+    print(f"  {client.queued_uploads} measurements queued locally")
+
+    connection.go_online()
+    responses = client.drain_queue()
+    print(f"\nreconnected: queue drained, {len(responses)} uploads "
+          f"delivered in order -> server now has {len(uploads)} measurements")
+
+
+if __name__ == "__main__":
+    main()

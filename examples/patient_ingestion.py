@@ -1,0 +1,93 @@
+"""Secure patient data ingestion, export, and GDPR erasure (Sections II/IV).
+
+A hospital bridge converts HL7v2 feeds to FHIR, uploads them encrypted,
+and the platform enforces the full policy chain: malware filtration,
+validation, consent, de-identification, anonymization verification, and
+blockchain provenance.  A CRO then pulls an anonymized export, and one
+patient exercises the right to be forgotten.
+
+Run:  python examples/patient_ingestion.py
+"""
+
+from repro import HealthCloudPlatform
+from repro.crypto.rsa import hybrid_encrypt
+from repro.fhir import hl7_to_bundle
+from repro.ingestion import IngestionStatus, encrypt_bundle_for_upload
+from repro.rbac import Action, Permission, Scope, ScopeKind
+
+HL7_FEED = [
+    ("MSH|^~\\&|LAB|MERCY|||2024011{d}||ORU^R01|msg-{d}|P|2.5\r"
+     "PID|1||pt-10{d}||Fam{d}^Pat||19{y}0312|{g}|||{d} Main St^^Boston^MA^0211{d}\r"
+     "OBX|1|NM|4548-4^HbA1c||{v}|%").format(
+         d=i, y=50 + i * 4, g="F" if i % 2 else "M", v=5.8 + 0.4 * i)
+    for i in range(8)
+]
+
+
+def main() -> None:
+    platform = HealthCloudPlatform(seed=7)
+    context = platform.register_tenant("mercy-hospital")
+    group = platform.rbac.create_group(context.tenant.tenant_id,
+                                       "outcomes-study")
+    registration = platform.ingestion.register_client("hl7-bridge")
+
+    print(f"ingesting {len(HL7_FEED)} HL7v2 ORU messages...")
+    jobs = []
+    for i, message in enumerate(HL7_FEED):
+        bundle = hl7_to_bundle(message, bundle_id=f"hl7-{i}")
+        patient_id = bundle.resources_of(
+            type(bundle.entries[0]))[0].id  # first resource is the Patient
+        platform.consent.grant(patient_id, group.group_id)
+        envelope = encrypt_bundle_for_upload(bundle, registration)
+        jobs.append(platform.ingestion.upload("hl7-bridge", envelope,
+                                              group.group_id))
+
+    # One malicious upload: carries a known malware signature.
+    evil = hybrid_encrypt(registration.public_key,
+                          b'{"junk": true} EICAR-STANDARD-ANTIVIRUS-TEST-FILE')
+    evil_job = platform.ingestion.upload("hl7-bridge", evil, group.group_id)
+
+    platform.run_ingestion()
+
+    stored = sum(1 for j in jobs
+                 if platform.ingestion.status(j.job_id)[0]
+                 is IngestionStatus.STORED)
+    print(f"  stored: {stored}/{len(jobs)}")
+    status, reason = platform.ingestion.status(evil_job.job_id)
+    print(f"  malicious upload: {status.value} ({reason})")
+    malware_entry = platform.blockchain.query(
+        "malware", "record_status", record_id=evil_job.job_id)
+    print(f"  malware network entry: {malware_entry}")
+
+    # CRO analyst pulls the anonymized export.
+    analyst = platform.rbac.register_user(context.tenant.tenant_id,
+                                          "cro-analyst")
+    scope = Scope(ScopeKind.TENANT, context.tenant.tenant_id)
+    platform.rbac.define_role("cro", [
+        Permission(Action.READ, "anonymized-data", scope)])
+    platform.rbac.bind_role(analyst.user_id, context.default_org.org_id,
+                            context.default_env.env_id, "cro")
+    platform.rbac.add_group_member(group.group_id, analyst.user_id)
+    export = platform.export.export_anonymized(
+        analyst.user_id, group.group_id, context.default_org.org_id,
+        context.default_env.env_id)
+    print(f"\nanonymized export: {len(export.bundles)} bundles, "
+          f"k-anonymity achieved k={export.achieved_k}")
+    print(f"  sample cohort row: {export.cohort_table[0]}")
+
+    # GDPR right to be forgotten for one patient.
+    target = "pt-103"
+    receipt = platform.gdpr.erase_subject(target)
+    print(f"\nGDPR erasure of {target}: "
+          f"{receipt.record_versions_destroyed} record versions "
+          f"crypto-deleted, {receipt.consents_revoked} consents revoked, "
+          f"ledger event recorded={receipt.provenance_recorded}")
+
+    report = platform.audit.run_audit()
+    print(f"\nfinal audit: clean={report.clean}, "
+          f"access checks={report.access_checks}, "
+          f"denials={report.access_denials}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Drug-effect signal detection from RWE with DELT (Section V-B, Figs. 10-11).
+
+Generates a synthetic EMR cohort (stand-in for Explorys/Truven) with
+patient-specific HbA1c baselines, aging/comorbidity confounders,
+correlated co-medication, and a known set of blood-sugar-lowering drugs.
+Fits DELT (joint exposures + patient baselines + time drift) and the
+marginal self-controlled baseline, then reports which drugs each method
+would flag for repositioning toward diabetes control.
+
+Run:  python examples/rwe_delt.py
+"""
+
+import numpy as np
+
+from repro.analytics import DeltModel, MarginalSccs, effect_recovery
+from repro.workloads import generate_emr_cohort
+
+
+def main() -> None:
+    print("generating synthetic EMR cohort (Explorys/Truven stand-in)...")
+    cohort = generate_emr_cohort(
+        n_patients=800, n_drugs=40, n_lowering=6, effect_size=-0.8,
+        confounders=True, seed=99)
+    measurements = sum(len(p.times) for p in cohort.patients)
+    print(f"  {len(cohort.patients)} patients, {cohort.n_drugs} drugs, "
+          f"{measurements} lab measurements")
+    planted = np.nonzero(cohort.true_effects <= -0.8)[0]
+    print(f"  planted HbA1c-lowering drugs: "
+          f"{[cohort.drug_names[d] for d in planted]}")
+
+    print("\nfitting DELT (joint exposures, patient baselines, drift)...")
+    delt = DeltModel(n_drugs=cohort.n_drugs, ridge=1.0).fit(cohort.patients)
+    print("fitting marginal SCCS baseline...")
+    marginal = MarginalSccs(cohort.n_drugs).fit(cohort.patients)
+
+    print(f"\n{'method':<16} {'precision':>9} {'recall':>7} {'F1':>6} "
+          f"{'flagged':>8}")
+    for name, effects in [("DELT", delt.effects), ("marginal SCCS", marginal)]:
+        recovery = effect_recovery(effects, cohort.true_effects, 0.8)
+        print(f"{name:<16} {recovery['precision']:>9.2f} "
+              f"{recovery['recall']:>7.2f} {recovery['f1']:>6.2f} "
+              f"{int(recovery['detected']):>8}")
+
+    print("\ndrugs DELT flags as HbA1c-lowering (candidates for "
+          "repositioning to diabetes control):")
+    for drug_index in delt.significant_drugs(0.4):
+        estimated = delt.effects[drug_index]
+        true = cohort.true_effects[drug_index]
+        verdict = "TRUE effect" if true <= -0.8 else "false positive"
+        print(f"  {cohort.drug_names[drug_index]:<10} "
+              f"estimated {estimated:+.2f}  (injected {true:+.2f}) "
+              f"-> {verdict}")
+
+    false_flags = [d for d in np.nonzero(marginal <= -0.4)[0]
+                   if cohort.true_effects[d] > -0.8]
+    print(f"\nmarginal SCCS false positives under confounding: "
+          f"{len(false_flags)} "
+          f"({[cohort.drug_names[d] for d in false_flags[:6]]}...)")
+
+    baselines = np.array(list(delt.baselines.values()))
+    print(f"\nrecovered patient baselines: mean {baselines.mean():.2f}%, "
+          f"sd {baselines.std():.2f}% (diverse per-patient normals, Fig. 10)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — reproduction of "A Trusted Healthcare Data Analytics Cloud
+Platform" (Iyengar, Kundu, Sharma, Zhang; ICDCS 2018).
+
+Quickstart::
+
+    from repro import HealthCloudPlatform
+
+    platform = HealthCloudPlatform(seed=42)
+    context = platform.register_tenant("acme-health")
+
+Subpackages (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — platform facade, errors, identifiers
+- :mod:`repro.trusted` — TPM/vTPM, attestation, trust chain
+- :mod:`repro.cloudsim` — simulated IaaS substrate
+- :mod:`repro.rbac` — tenants/orgs/groups/envs/users/roles/permissions
+- :mod:`repro.crypto` — AEAD, RSA, KMS, Merkle, redactable signatures
+- :mod:`repro.blockchain` — permissioned ledger + HCLS chaincodes
+- :mod:`repro.fhir` — FHIR-subset resources + HL7v2 adapter
+- :mod:`repro.privacy` — de-identification, k-anonymity, consent
+- :mod:`repro.ingestion` — async pipeline, data lake, export
+- :mod:`repro.caching` — policies, hierarchy, consistency
+- :mod:`repro.client` — enhanced/basic clients
+- :mod:`repro.knowledge` — synthetic KBs + remote/caching wrappers
+- :mod:`repro.services` — external AI service registry
+- :mod:`repro.analytics` — JMF, DELT, DDI, gene-disease, lifecycle
+- :mod:`repro.gateway` — intercloud trusted-container transfer
+- :mod:`repro.compliance` — HIPAA/GDPR controls, change mgmt, audit
+- :mod:`repro.workloads` — EMR cohorts, access traces
+"""
+
+from .core.platform import HealthCloudPlatform, TenantContext
+
+__version__ = "1.0.0"
+
+__all__ = ["HealthCloudPlatform", "TenantContext", "__version__"]

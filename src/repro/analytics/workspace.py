@@ -1,0 +1,159 @@
+"""Analytics authoring workspace (Section III-A).
+
+"The analytics platform offers tools for performing different operations,
+including authoring tools like Jupyter and version control tools such as
+git."
+
+:class:`AnalysisWorkspace` captures what those tools provide for a
+compliant platform: notebook-style **cells** executed in order against a
+shared namespace, an execution log suitable for audit, and **versioned,
+content-addressed artifacts** with a git-like commit chain — so any
+published model can be traced to the exact code and inputs that produced
+it, and re-running a workspace reproduces artifacts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import ModelLifecycleError, NotFoundError
+
+CellFn = Callable[[Dict[str, Any]], Any]
+
+
+@dataclass
+class CellExecution:
+    """One audited cell run."""
+
+    cell_index: int
+    name: str
+    output_repr: str
+    output_hash: str
+
+
+@dataclass(frozen=True)
+class ArtifactVersion:
+    """A committed artifact version (content-addressed, chained)."""
+
+    name: str
+    version: int
+    content_hash: str
+    parent_hash: str
+    message: str
+    commit_hash: str
+
+
+class AnalysisWorkspace:
+    """Ordered cells + shared namespace + versioned artifact store."""
+
+    GENESIS = "0" * 64
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._cells: List[Tuple[str, CellFn]] = []
+        self.namespace: Dict[str, Any] = {}
+        self.execution_log: List[CellExecution] = []
+        self._artifacts: Dict[str, List[ArtifactVersion]] = {}
+        self._artifact_blobs: Dict[str, bytes] = {}
+
+    # -- notebook surface ------------------------------------------------------
+
+    def add_cell(self, name: str, fn: CellFn) -> int:
+        """Append a cell; returns its index."""
+        self._cells.append((name, fn))
+        return len(self._cells) - 1
+
+    def run_all(self) -> List[CellExecution]:
+        """Execute every cell in order against the shared namespace."""
+        self.namespace = {}
+        self.execution_log = []
+        for index, (name, fn) in enumerate(self._cells):
+            output = fn(self.namespace)
+            self.namespace[name] = output
+            rendered = repr(output)
+            self.execution_log.append(CellExecution(
+                cell_index=index,
+                name=name,
+                output_repr=rendered[:200],
+                output_hash=hashlib.sha256(rendered.encode()).hexdigest(),
+            ))
+        return list(self.execution_log)
+
+    def run_cell(self, index: int) -> CellExecution:
+        """Execute one cell (out-of-order exploration)."""
+        if not 0 <= index < len(self._cells):
+            raise NotFoundError(f"no cell {index}")
+        name, fn = self._cells[index]
+        output = fn(self.namespace)
+        self.namespace[name] = output
+        rendered = repr(output)
+        execution = CellExecution(index, name, rendered[:200],
+                                  hashlib.sha256(rendered.encode()).hexdigest())
+        self.execution_log.append(execution)
+        return execution
+
+    # -- versioned artifacts -------------------------------------------------------
+
+    def commit_artifact(self, name: str, content: bytes,
+                        message: str) -> ArtifactVersion:
+        """Commit an artifact version (git-style chained history)."""
+        history = self._artifacts.setdefault(name, [])
+        content_hash = hashlib.sha256(content).hexdigest()
+        parent = history[-1].commit_hash if history else self.GENESIS
+        payload = json.dumps([name, len(history) + 1, content_hash, parent,
+                              message]).encode()
+        commit_hash = hashlib.sha256(payload).hexdigest()
+        version = ArtifactVersion(
+            name=name, version=len(history) + 1,
+            content_hash=content_hash, parent_hash=parent,
+            message=message, commit_hash=commit_hash)
+        history.append(version)
+        self._artifact_blobs[content_hash] = content
+        return version
+
+    def checkout(self, name: str, version: Optional[int] = None) -> bytes:
+        """Fetch an artifact's content at a version (latest by default)."""
+        history = self._artifacts.get(name)
+        if not history:
+            raise NotFoundError(f"artifact {name!r} has no versions")
+        target = history[-1] if version is None else None
+        if version is not None:
+            if not 1 <= version <= len(history):
+                raise NotFoundError(f"artifact {name!r} has no v{version}")
+            target = history[version - 1]
+        assert target is not None
+        return self._artifact_blobs[target.content_hash]
+
+    def log(self, name: str) -> List[ArtifactVersion]:
+        """Commit history of one artifact."""
+        return list(self._artifacts.get(name, []))
+
+    def verify_history(self, name: str) -> bool:
+        """Re-walk the commit chain; raises on tampering."""
+        parent = self.GENESIS
+        for i, version in enumerate(self._artifacts.get(name, []), start=1):
+            if version.version != i or version.parent_hash != parent:
+                raise ModelLifecycleError(
+                    f"artifact {name!r} history broken at v{i}")
+            payload = json.dumps([name, i, version.content_hash, parent,
+                                  version.message]).encode()
+            if hashlib.sha256(payload).hexdigest() != version.commit_hash:
+                raise ModelLifecycleError(
+                    f"artifact {name!r} commit hash mismatch at v{i}")
+            parent = version.commit_hash
+        return True
+
+    # -- reproducibility ---------------------------------------------------------------
+
+    def reproducibility_check(self) -> bool:
+        """Re-run all cells; outputs must hash identically.
+
+        The compliance requirement behind it: a published model must be
+        regenerable from its workspace.  Non-deterministic cells fail here.
+        """
+        first = [e.output_hash for e in self.run_all()]
+        second = [e.output_hash for e in self.run_all()]
+        return first == second

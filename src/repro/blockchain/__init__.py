@@ -1,0 +1,89 @@
+"""Permissioned HCLS blockchain (Section IV, Fig. 6).
+
+MSP identities, hash-linked ledger, endorsement/ordering network, the
+provenance/consent/malware/privacy chaincodes, self-sovereign identity,
+the auditor view, and the centralized-DB baseline it is compared against.
+"""
+
+from .audit import AuditFinding, AuditorView, CentralizedProvenanceDb
+from .chaincode import (
+    Chaincode,
+    ConsentContract,
+    MalwareContract,
+    PrivacyContract,
+    ProvenanceContract,
+    WorldState,
+)
+from .identity import (
+    MemberIdentity,
+    MembershipServiceProvider,
+    PseudonymProof,
+    PseudonymVerifier,
+    SelfSovereignIdentity,
+)
+from .ledger import Block, GENESIS_HASH, Ledger, Transaction, build_block
+from .network import (
+    BlockchainNetwork,
+    EndorsementPolicy,
+    OrderingService,
+    Peer,
+)
+
+__all__ = [
+    "AuditFinding",
+    "AuditorView",
+    "CentralizedProvenanceDb",
+    "Chaincode",
+    "ConsentContract",
+    "MalwareContract",
+    "PrivacyContract",
+    "ProvenanceContract",
+    "WorldState",
+    "MemberIdentity",
+    "MembershipServiceProvider",
+    "PseudonymProof",
+    "PseudonymVerifier",
+    "SelfSovereignIdentity",
+    "Block",
+    "GENESIS_HASH",
+    "Ledger",
+    "Transaction",
+    "build_block",
+    "BlockchainNetwork",
+    "EndorsementPolicy",
+    "OrderingService",
+    "Peer",
+]
+
+
+def standard_network(seed: int = 0, batch_size: int = 10,
+                     policy: "EndorsementPolicy" = None,
+                     clock=None) -> BlockchainNetwork:
+    """Build the reference HCLS network of Fig. 6.
+
+    Parties: sender org, healthcare provider, data-protection service, and
+    audit service — each contributing one endorsing peer with all four
+    contracts installed.
+    """
+    msp = MembershipServiceProvider(seed=seed)
+    network = BlockchainNetwork(
+        msp,
+        policy=policy if policy is not None else EndorsementPolicy(2, 2),
+        batch_size=batch_size,
+        clock=clock,
+    )
+    contracts = {
+        "provenance": ProvenanceContract(),
+        "consent": ConsentContract(),
+        "malware": MalwareContract(),
+        "privacy": PrivacyContract(),
+    }
+    organizations = ["sender-org", "provider-org", "data-protection-org",
+                     "audit-org"]
+    for org in organizations:
+        peer_id = f"peer.{org}"
+        msp.enroll(peer_id, org, roles={"peer"})
+        network.add_peer(Peer(peer_id, org, msp, contracts))
+    msp.enroll("ingestion-service", "provider-org", roles={"client"})
+    msp.enroll("auditor", "audit-org", roles={"auditor"})
+    return network

@@ -1,0 +1,120 @@
+"""Auditor view and the centralized-database baseline (Sections IV-E, VI).
+
+"Hyperledger has an auditor view that allows an auditor to get access to
+the ledgers and search for use and processing of data, system integrity
+and user provenance."  :class:`AuditorView` is that read-only interface:
+search transactions by chaincode/actor/handle, reconstruct a record's
+event chain, and verify chain integrity.
+
+:class:`CentralizedProvenanceDb` is the baseline the paper criticises —
+"Past systems make use of centralized databases without any transparency"
+— implemented with the same API so experiment E5 can compare cost and
+tamper-evidence head-to-head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import LedgerError
+from .ledger import Transaction
+from .network import BlockchainNetwork
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One matched transaction in an audit search."""
+
+    tx_id: str
+    block_height: int
+    chaincode: str
+    method: str
+    submitter: str
+    args: Dict[str, Any]
+
+
+class AuditorView:
+    """Read-only ledger access for internal/external audit teams."""
+
+    def __init__(self, network: BlockchainNetwork) -> None:
+        if not network.peers:
+            raise LedgerError("cannot audit a network with no peers")
+        self._network = network
+
+    def _ledger(self):
+        return self._network.peers[0].ledger
+
+    def search(self, chaincode: Optional[str] = None,
+               method: Optional[str] = None,
+               submitter: Optional[str] = None,
+               arg_equals: Optional[Dict[str, Any]] = None) -> List[AuditFinding]:
+        """Search committed transactions by any combination of filters."""
+        findings: List[AuditFinding] = []
+        for block in self._ledger().blocks():
+            for tx in block.transactions:
+                if chaincode is not None and tx.chaincode != chaincode:
+                    continue
+                if method is not None and tx.method != method:
+                    continue
+                if submitter is not None and tx.submitter != submitter:
+                    continue
+                if arg_equals is not None and any(
+                        tx.args.get(k) != v for k, v in arg_equals.items()):
+                    continue
+                findings.append(AuditFinding(
+                    tx.tx_id, block.height, tx.chaincode, tx.method,
+                    tx.submitter, dict(tx.args)))
+        return findings
+
+    def record_history(self, handle: str) -> List[Dict[str, Any]]:
+        """Provenance event chain of a data record, via chaincode query."""
+        return self._network.query("provenance", "get_history", handle=handle)
+
+    def verify_integrity(self) -> bool:
+        """Re-verify the full chain on every peer; True iff all consistent."""
+        for peer in self._network.peers:
+            peer.ledger.verify()  # raises LedgerError on tamper
+        return self._network.peers_converged()
+
+    def transaction_count(self) -> int:
+        return len(self._ledger().transactions())
+
+
+class CentralizedProvenanceDb:
+    """Baseline: a plain mutable table of provenance events.
+
+    Same logical API as the provenance chaincode, but (i) writes are a
+    single dict update — no endorsement/ordering cost — and (ii) a
+    malicious admin can silently rewrite history: ``tamper`` succeeds and
+    ``verify_integrity`` cannot detect it (it has nothing to check).
+    """
+
+    def __init__(self) -> None:
+        self._events: Dict[str, List[Dict[str, Any]]] = {}
+
+    def record_event(self, handle: str, data_hash: str, event: str,
+                     actor: str, metadata: Optional[Dict[str, Any]] = None) -> int:
+        events = self._events.setdefault(handle, [])
+        entry = {"seq": len(events), "event": event, "hash": data_hash,
+                 "actor": actor, "meta": dict(metadata or {})}
+        events.append(entry)
+        return entry["seq"]
+
+    def get_history(self, handle: str) -> List[Dict[str, Any]]:
+        return list(self._events.get(handle, []))
+
+    def tamper(self, handle: str, seq: int, new_hash: str) -> bool:
+        """Silently rewrite an event — undetectable in this baseline."""
+        events = self._events.get(handle)
+        if events is None or seq >= len(events):
+            return False
+        events[seq]["hash"] = new_hash
+        return True
+
+    def verify_integrity(self) -> bool:
+        """Vacuously true: the baseline has no tamper-evidence at all."""
+        return True
+
+    def transaction_count(self) -> int:
+        return sum(len(v) for v in self._events.values())

@@ -1,0 +1,189 @@
+"""Chaincode (smart contracts) for the HCLS blockchain networks (Section IV).
+
+The paper describes several blockchain networks/uses; each is a contract
+over a shared world state here (a "single blockchain network ... is a
+design decision" the paper explicitly allows):
+
+* :class:`ProvenanceContract` — "Upon each event or transaction such as
+  data receipt, data retrieval, data anonymization ... the blockchain
+  ledger is updated with a handle/reference to the encrypted data record,
+  hash of the data, information about the event/transaction, and
+  meta-data."
+* :class:`ConsentContract` — consent provenance "as required by GDPR and
+  HIPAA".
+* :class:`MalwareContract` — the malware-management network: records which
+  record ids contained malware and the policy action taken, and flags
+  risky senders.
+* :class:`PrivacyContract` — the privacy network: "records the privacy
+  levels of each record received"; its smart-contract analytics flag
+  senders whose records repeatedly fail anonymization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import LedgerError, ValidationError
+
+
+class WorldState:
+    """Versioned key-value store each peer maintains."""
+
+    def __init__(self) -> None:
+        self._state: Dict[str, Any] = {}
+        self._versions: Dict[str, int] = {}
+
+    def get(self, key: str) -> Optional[Any]:
+        return self._state.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self._state[key] = value
+        self._versions[key] = self._versions.get(key, 0) + 1
+
+    def version(self, key: str) -> int:
+        return self._versions.get(key, 0)
+
+    def keys_with_prefix(self, prefix: str) -> List[str]:
+        return sorted(k for k in self._state if k.startswith(prefix))
+
+    def snapshot_hash(self) -> str:
+        """Digest of the full state, used to check peer convergence."""
+        import hashlib
+        payload = json.dumps(self._state, sort_keys=True,
+                             separators=(",", ":")).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+
+class Chaincode:
+    """Base class: a contract is a set of ``invoke_*`` methods over state."""
+
+    NAME = "base"
+
+    def invoke(self, state: WorldState, method: str,
+               args: Dict[str, Any]) -> Any:
+        handler = getattr(self, f"invoke_{method}", None)
+        if handler is None:
+            raise LedgerError(f"chaincode {self.NAME}: no method {method!r}")
+        return handler(state, **args)
+
+
+class ProvenanceContract(Chaincode):
+    """HCLS data provenance: an event chain per record handle.
+
+    PHI never enters the ledger — only the handle, the data's hash, the
+    event kind, and non-sensitive metadata.
+    """
+
+    NAME = "provenance"
+    EVENT_KINDS = ("received", "validated", "deidentified", "stored",
+                   "retrieved", "anonymized", "exported", "deleted")
+
+    def invoke_record_event(self, state: WorldState, *, handle: str,
+                            data_hash: str, event: str, actor: str,
+                            metadata: Optional[Dict[str, Any]] = None) -> int:
+        """Append a provenance event; returns the event's sequence number."""
+        if event not in self.EVENT_KINDS:
+            raise ValidationError(f"unknown provenance event {event!r}")
+        key = f"prov/{handle}"
+        events: List[Dict[str, Any]] = state.get(key) or []
+        entry = {"seq": len(events), "event": event, "hash": data_hash,
+                 "actor": actor, "meta": dict(metadata or {})}
+        events = events + [entry]
+        state.put(key, events)
+        return entry["seq"]
+
+    def invoke_get_history(self, state: WorldState, *,
+                           handle: str) -> List[Dict[str, Any]]:
+        """Full event chain of one record."""
+        return list(state.get(f"prov/{handle}") or [])
+
+    def invoke_verify_hash(self, state: WorldState, *, handle: str,
+                           data_hash: str) -> bool:
+        """Does the latest stored hash for this handle match?"""
+        events = state.get(f"prov/{handle}") or []
+        hashed = [e for e in events if e["hash"]]
+        return bool(hashed) and hashed[-1]["hash"] == data_hash
+
+
+class ConsentContract(Chaincode):
+    """Consent provenance: grants and revocations with full history."""
+
+    NAME = "consent"
+
+    def invoke_grant(self, state: WorldState, *, patient_ref: str,
+                     group_id: str, granted_at: float) -> str:
+        key = f"consent/{patient_ref}/{group_id}"
+        history: List[Dict[str, Any]] = state.get(key) or []
+        history = history + [{"action": "grant", "at": granted_at}]
+        state.put(key, history)
+        return key
+
+    def invoke_revoke(self, state: WorldState, *, patient_ref: str,
+                      group_id: str, revoked_at: float) -> str:
+        key = f"consent/{patient_ref}/{group_id}"
+        history: List[Dict[str, Any]] = state.get(key) or []
+        if not history or history[-1]["action"] != "grant":
+            raise LedgerError(f"no active consent to revoke at {key}")
+        history = history + [{"action": "revoke", "at": revoked_at}]
+        state.put(key, history)
+        return key
+
+    def invoke_is_active(self, state: WorldState, *, patient_ref: str,
+                         group_id: str) -> bool:
+        history = state.get(f"consent/{patient_ref}/{group_id}") or []
+        return bool(history) and history[-1]["action"] == "grant"
+
+    def invoke_history(self, state: WorldState, *, patient_ref: str,
+                       group_id: str) -> List[Dict[str, Any]]:
+        return list(state.get(f"consent/{patient_ref}/{group_id}") or [])
+
+
+class MalwareContract(Chaincode):
+    """Malware-management network: infected records and risky senders."""
+
+    NAME = "malware"
+    ACTIONS = ("cleaned", "sanitized", "dropped")
+    RISK_THRESHOLD = 3
+
+    def invoke_report(self, state: WorldState, *, record_id: str,
+                      sender: str, signature_name: str, action: str) -> None:
+        """Record that a record contained malware and what was done."""
+        if action not in self.ACTIONS:
+            raise ValidationError(f"unknown malware action {action!r}")
+        state.put(f"malware/record/{record_id}",
+                  {"sender": sender, "signature": signature_name,
+                   "action": action})
+        counter_key = f"malware/sender/{sender}"
+        state.put(counter_key, (state.get(counter_key) or 0) + 1)
+
+    def invoke_is_risky_sender(self, state: WorldState, *, sender: str) -> bool:
+        """Smart-contract analytics: senders with repeated malware reports."""
+        return (state.get(f"malware/sender/{sender}") or 0) >= self.RISK_THRESHOLD
+
+    def invoke_record_status(self, state: WorldState, *,
+                             record_id: str) -> Optional[Dict[str, Any]]:
+        return state.get(f"malware/record/{record_id}")
+
+
+class PrivacyContract(Chaincode):
+    """Privacy network: anonymization degree of every received record."""
+
+    NAME = "privacy"
+    RISK_THRESHOLD = 3
+
+    def invoke_record_level(self, state: WorldState, *, record_id: str,
+                            sender: str, degree: float, passed: bool) -> None:
+        state.put(f"privacy/record/{record_id}",
+                  {"sender": sender, "degree": degree, "passed": passed})
+        if not passed:
+            counter_key = f"privacy/sender-failures/{sender}"
+            state.put(counter_key, (state.get(counter_key) or 0) + 1)
+
+    def invoke_record_level_of(self, state: WorldState, *,
+                               record_id: str) -> Optional[Dict[str, Any]]:
+        return state.get(f"privacy/record/{record_id}")
+
+    def invoke_is_risky_sender(self, state: WorldState, *, sender: str) -> bool:
+        return (state.get(f"privacy/sender-failures/{sender}") or 0) >= self.RISK_THRESHOLD

@@ -1,0 +1,145 @@
+"""Hash-linked ledger structures (Section IV, Fig. 6).
+
+Blocks commit an ordered batch of transactions under a Merkle root and
+link to the previous block's hash, so any retroactive modification is
+detectable by re-walking the chain — the tamper-evidence property the
+paper's audit requirements rest on.  PHI never goes on chain: transactions
+carry a "handle/reference to the encrypted data record, hash of the data,
+information about the event/transaction, and meta-data."
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import LedgerError
+from ..crypto.merkle import MerkleTree
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One ledger transaction: a chaincode invocation plus endorsements."""
+
+    tx_id: str
+    chaincode: str
+    method: str
+    args: Dict[str, Any]
+    submitter: str
+    timestamp: float
+    endorsements: Tuple[Tuple[str, bytes], ...] = ()  # (member_id, signature)
+
+    def payload(self) -> bytes:
+        """Canonical bytes that endorsers sign and blocks commit."""
+        return json.dumps(
+            {"tx": self.tx_id, "cc": self.chaincode, "method": self.method,
+             "args": self.args, "submitter": self.submitter,
+             "ts": self.timestamp},
+            sort_keys=True, separators=(",", ":")).encode()
+
+    def with_endorsements(
+            self, endorsements: Iterable[Tuple[str, bytes]]) -> "Transaction":
+        return Transaction(self.tx_id, self.chaincode, self.method,
+                           dict(self.args), self.submitter, self.timestamp,
+                           tuple(endorsements))
+
+
+@dataclass(frozen=True)
+class Block:
+    """A batch of transactions sealed under a Merkle root + chain link."""
+
+    height: int
+    prev_hash: str
+    merkle_root: str
+    timestamp: float
+    transactions: Tuple[Transaction, ...]
+    block_hash: str
+
+    @staticmethod
+    def compute_hash(height: int, prev_hash: str, merkle_root: str,
+                     timestamp: float) -> str:
+        payload = json.dumps([height, prev_hash, merkle_root, timestamp],
+                             separators=(",", ":")).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+
+GENESIS_HASH = "0" * 64
+
+
+def build_block(height: int, prev_hash: str, timestamp: float,
+                transactions: List[Transaction]) -> Block:
+    """Seal a batch of transactions into a block."""
+    if not transactions:
+        raise LedgerError("cannot build an empty block")
+    tree = MerkleTree([tx.payload() for tx in transactions])
+    merkle_root = tree.root.hex()
+    block_hash = Block.compute_hash(height, prev_hash, merkle_root, timestamp)
+    return Block(height, prev_hash, merkle_root, timestamp,
+                 tuple(transactions), block_hash)
+
+
+class Ledger:
+    """An append-only chain of blocks with full verification."""
+
+    def __init__(self) -> None:
+        self._blocks: List[Block] = []
+
+    @property
+    def height(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def tip_hash(self) -> str:
+        return self._blocks[-1].block_hash if self._blocks else GENESIS_HASH
+
+    def append(self, block: Block) -> None:
+        """Append after validating linkage, height, and Merkle root."""
+        if block.height != self.height:
+            raise LedgerError(
+                f"block height {block.height} != expected {self.height}")
+        if block.prev_hash != self.tip_hash:
+            raise LedgerError("block does not link to the current tip")
+        tree = MerkleTree([tx.payload() for tx in block.transactions])
+        if tree.root.hex() != block.merkle_root:
+            raise LedgerError("block Merkle root mismatch")
+        expected = Block.compute_hash(block.height, block.prev_hash,
+                                      block.merkle_root, block.timestamp)
+        if expected != block.block_hash:
+            raise LedgerError("block hash mismatch")
+        self._blocks.append(block)
+
+    def block(self, height: int) -> Block:
+        try:
+            return self._blocks[height]
+        except IndexError:
+            raise LedgerError(f"no block at height {height}") from None
+
+    def blocks(self) -> List[Block]:
+        return list(self._blocks)
+
+    def transactions(self) -> List[Transaction]:
+        return [tx for block in self._blocks for tx in block.transactions]
+
+    def find_transaction(self, tx_id: str) -> Optional[Transaction]:
+        for tx in self.transactions():
+            if tx.tx_id == tx_id:
+                return tx
+        return None
+
+    def verify(self) -> bool:
+        """Re-walk the whole chain; raises LedgerError on any tamper."""
+        prev = GENESIS_HASH
+        for i, block in enumerate(self._blocks):
+            if block.height != i or block.prev_hash != prev:
+                raise LedgerError(f"chain linkage broken at height {i}")
+            tree = MerkleTree([tx.payload() for tx in block.transactions])
+            if tree.root.hex() != block.merkle_root:
+                raise LedgerError(f"Merkle root mismatch at height {i}")
+            expected = Block.compute_hash(block.height, block.prev_hash,
+                                          block.merkle_root, block.timestamp)
+            if expected != block.block_hash:
+                raise LedgerError(f"block hash mismatch at height {i}")
+            prev = block.block_hash
+        return True

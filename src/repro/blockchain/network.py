@@ -1,0 +1,273 @@
+"""Permissioned blockchain network: endorse -> order -> validate -> commit.
+
+Models the Hyperledger-style flow the paper names (Section IV-A: "The
+blockchain network we are talking of is a permissioned blockchain system
+such as Hyperledger"):
+
+1. a client submits a proposal;
+2. **endorsing peers** simulate the chaincode and sign the result;
+3. the proposal must satisfy the channel's **endorsement policy**
+   (at least N signatures from distinct organizations);
+4. the **ordering service** batches endorsed transactions into blocks;
+5. every peer validates the block (endorsement re-check) and **commits**
+   it to its ledger and world state.
+
+"The different parties using the consensus protocol agree on the data to
+send and receive, which then leads to commitment of the ledger record to
+the global ledger."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import EndorsementError, LedgerError
+from ..cloudsim.clock import SimClock
+from .chaincode import Chaincode, WorldState
+from .identity import MembershipServiceProvider
+from .ledger import Block, Ledger, Transaction, build_block
+
+
+@dataclass(frozen=True)
+class EndorsementPolicy:
+    """Minimum endorsements and distinct organizations required."""
+
+    min_endorsements: int = 2
+    min_organizations: int = 2
+
+    def satisfied_by(self, endorsing_orgs: List[str]) -> bool:
+        return (len(endorsing_orgs) >= self.min_endorsements
+                and len(set(endorsing_orgs)) >= self.min_organizations)
+
+
+class Peer:
+    """A committing (and possibly endorsing) peer with its own ledger copy."""
+
+    def __init__(self, peer_id: str, organization: str,
+                 msp: MembershipServiceProvider,
+                 chaincodes: Dict[str, Chaincode]) -> None:
+        self.peer_id = peer_id
+        self.organization = organization
+        self._msp = msp
+        self._chaincodes = dict(chaincodes)
+        self.ledger = Ledger()
+        self.state = WorldState()
+
+    def simulate(self, tx: Transaction) -> Any:
+        """Endorsement-time simulation: run chaincode against current state.
+
+        Simulation runs against a scratch copy of the relevant values in a
+        real fabric; our contracts are deterministic and re-executed at
+        commit, so running read-only methods directly is equivalent.
+        """
+        chaincode = self._chaincode(tx.chaincode)
+        scratch = _CopyOnWriteState(self.state)
+        return chaincode.invoke(scratch, tx.method, tx.args)
+
+    def endorse(self, tx: Transaction) -> Tuple[str, bytes]:
+        """Simulate then sign the transaction payload."""
+        self.simulate(tx)
+        signature = self._msp.sign_as(self.peer_id, tx.payload())
+        return (self.peer_id, signature)
+
+    def validate(self, tx: Transaction, policy: EndorsementPolicy) -> bool:
+        """Commit-time validation of a transaction's endorsements."""
+        orgs: List[str] = []
+        for member_id, signature in tx.endorsements:
+            if not self._msp.verify(member_id, tx.payload(), signature):
+                return False
+            orgs.append(self._msp.identity(member_id).organization)
+        return policy.satisfied_by(orgs)
+
+    def commit_block(self, block: Block, policy: EndorsementPolicy) -> int:
+        """Validate + append a block; apply valid txns to world state.
+
+        Returns the number of transactions applied (invalid ones are
+        marked-and-skipped, as in Fabric's validation flag model).
+        """
+        applied = 0
+        for tx in block.transactions:
+            if not self.validate(tx, policy):
+                continue
+            try:
+                chaincode = self._chaincode(tx.chaincode)
+                chaincode.invoke(self.state, tx.method, tx.args)
+            except Exception:
+                # A peer-local application fault (broken contract install,
+                # bug) must not halt the network; this peer simply lags on
+                # that transaction — visible via peers_converged().
+                continue
+            applied += 1
+        self.ledger.append(block)
+        return applied
+
+    def query(self, chaincode: str, method: str, **args: Any) -> Any:
+        """Local read-only query against this peer's world state."""
+        return self._chaincode(chaincode).invoke(self.state, method, args)
+
+    def sync_from(self, other: "Peer", policy: EndorsementPolicy) -> int:
+        """Catch up from another peer's ledger (late join / recovery).
+
+        Fetches every block past this peer's tip, re-validating each via
+        :meth:`commit_block` — a lagging peer never has to trust its source
+        blindly, since the endorsement signatures travel with the blocks.
+        Returns the number of blocks applied.
+        """
+        applied = 0
+        while self.ledger.height < other.ledger.height:
+            block = other.ledger.block(self.ledger.height)
+            self.commit_block(block, policy)
+            applied += 1
+        return applied
+
+    def _chaincode(self, name: str) -> Chaincode:
+        try:
+            return self._chaincodes[name]
+        except KeyError:
+            raise LedgerError(f"chaincode {name!r} not installed "
+                              f"on {self.peer_id}") from None
+
+
+class _CopyOnWriteState(WorldState):
+    """Scratch state for endorsement simulation; writes don't persist."""
+
+    def __init__(self, base: WorldState) -> None:
+        super().__init__()
+        self._base = base
+
+    def get(self, key: str) -> Any:
+        local = super().get(key)
+        if local is not None:
+            return local
+        return self._base.get(key)
+
+
+class OrderingService:
+    """Batches endorsed transactions into blocks (solo orderer)."""
+
+    def __init__(self, batch_size: int = 10,
+                 clock: Optional[SimClock] = None) -> None:
+        if batch_size < 1:
+            raise LedgerError("batch size must be >= 1")
+        self.batch_size = batch_size
+        self.clock = clock if clock is not None else SimClock()
+        self._pending: List[Transaction] = []
+
+    def submit(self, tx: Transaction) -> None:
+        self._pending.append(tx)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def cut_block(self, height: int, prev_hash: str,
+                  force: bool = False) -> Optional[Block]:
+        """Cut a block when the batch is full (or on ``force``)."""
+        if not self._pending:
+            return None
+        if len(self._pending) < self.batch_size and not force:
+            return None
+        batch, self._pending = (self._pending[:self.batch_size],
+                                self._pending[self.batch_size:])
+        return build_block(height, prev_hash, self.clock.now, batch)
+
+
+class BlockchainNetwork:
+    """A channel: peers + orderer + endorsement policy + submit API."""
+
+    # Simulated per-phase latencies (seconds), used with the SimClock to
+    # model consensus cost for experiment E5.
+    ENDORSE_LATENCY = 3e-3
+    ORDER_LATENCY = 5e-3
+    COMMIT_LATENCY = 2e-3
+
+    def __init__(self, msp: MembershipServiceProvider,
+                 policy: Optional[EndorsementPolicy] = None,
+                 batch_size: int = 10,
+                 clock: Optional[SimClock] = None) -> None:
+        self.msp = msp
+        self.policy = policy if policy is not None else EndorsementPolicy()
+        self.clock = clock if clock is not None else SimClock()
+        self.orderer = OrderingService(batch_size, self.clock)
+        self.peers: List[Peer] = []
+        self._tx_counter = 0
+
+    def add_peer(self, peer: Peer) -> None:
+        self.peers.append(peer)
+
+    def endorsing_peers(self) -> List[Peer]:
+        return [p for p in self.peers
+                if "peer" in self.msp.identity(p.peer_id).roles]
+
+    def submit(self, submitter: str, chaincode: str, method: str,
+               **args: Any) -> Transaction:
+        """Full transaction flow up to ordering; returns the endorsed txn.
+
+        Raises :class:`EndorsementError` when the policy cannot be met.
+        """
+        self._tx_counter += 1
+        tx = Transaction(
+            tx_id=f"tx-{self._tx_counter:08d}",
+            chaincode=chaincode,
+            method=method,
+            args=args,
+            submitter=submitter,
+            timestamp=self.clock.now,
+        )
+        endorsements: List[Tuple[str, bytes]] = []
+        orgs: List[str] = []
+        for peer in self.endorsing_peers():
+            try:
+                endorsements.append(peer.endorse(tx))
+                orgs.append(peer.organization)
+                self.clock.advance(self.ENDORSE_LATENCY)
+            except Exception:
+                continue  # a failing endorser just doesn't sign
+        if not self.policy.satisfied_by(orgs):
+            raise EndorsementError(
+                f"tx {tx.tx_id}: endorsement policy unmet "
+                f"({len(endorsements)} endorsements from {set(orgs)})")
+        endorsed = tx.with_endorsements(endorsements)
+        self.orderer.submit(endorsed)
+        return endorsed
+
+    def flush(self) -> List[Block]:
+        """Cut and commit every pending block (force the final partial one)."""
+        committed: List[Block] = []
+        while True:
+            reference = self.peers[0].ledger if self.peers else None
+            height = reference.height if reference else 0
+            prev = reference.tip_hash if reference else "0" * 64
+            block = self.orderer.cut_block(height, prev, force=True)
+            if block is None:
+                break
+            self.clock.advance(self.ORDER_LATENCY)
+            for peer in self.peers:
+                peer.commit_block(block, self.policy)
+                self.clock.advance(self.COMMIT_LATENCY)
+            committed.append(block)
+        return committed
+
+    def invoke(self, submitter: str, chaincode: str, method: str,
+               **args: Any) -> Transaction:
+        """Submit and immediately flush — convenience for low-rate callers."""
+        tx = self.submit(submitter, chaincode, method, **args)
+        self.flush()
+        return tx
+
+    def query(self, chaincode: str, method: str, **args: Any) -> Any:
+        """Read from the first peer (all peers converge)."""
+        if not self.peers:
+            raise LedgerError("network has no peers")
+        return self.peers[0].query(chaincode, method, **args)
+
+    def peers_converged(self) -> bool:
+        """All peers hold identical world state and chain tips."""
+        if len(self.peers) < 2:
+            return True
+        reference_state = self.peers[0].state.snapshot_hash()
+        reference_tip = self.peers[0].ledger.tip_hash
+        return all(p.state.snapshot_hash() == reference_state
+                   and p.ledger.tip_hash == reference_tip
+                   for p in self.peers[1:])

@@ -1,0 +1,41 @@
+"""Multi-level caching with pluggable policies and consistency protocols.
+
+Implements the performance pillar of Sections I and III: client/server/KB
+caching, eviction-policy choices, and the consistency algorithms needed
+when cached data changes.
+"""
+
+from .consistency import (
+    ConsistencyHarness,
+    ConsistencyReport,
+    ConsistentCache,
+    VersionedStore,
+)
+from .hierarchy import CacheHierarchy, CacheLevel, LookupResult, Origin
+from .policies import (
+    Cache,
+    CacheStats,
+    LfuCache,
+    LruCache,
+    TtlCache,
+    TwoQueueCache,
+    make_cache,
+)
+
+__all__ = [
+    "ConsistencyHarness",
+    "ConsistencyReport",
+    "ConsistentCache",
+    "VersionedStore",
+    "CacheHierarchy",
+    "CacheLevel",
+    "LookupResult",
+    "Origin",
+    "Cache",
+    "CacheStats",
+    "LfuCache",
+    "LruCache",
+    "TtlCache",
+    "TwoQueueCache",
+    "make_cache",
+]

@@ -1,0 +1,120 @@
+"""Multi-level cache hierarchy (Fig. 4, Section III).
+
+"Caching ... takes place at multiple parts of the architecture, both at the
+clients and servers."  A :class:`CacheHierarchy` chains levels — e.g.
+client cache (50 µs), server cache (2 ms), origin knowledge base (80+ ms) —
+each with a simulated access cost.  Lookups walk the levels nearest-first,
+charge the clock for every level touched, and promote the value into every
+missed level on the way back (inclusive caching).
+
+The origin is any loader function; :class:`Origin` wraps one with an access
+cost so the E3 experiment's "orders of magnitude" claim is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+from ..core.errors import ConfigurationError, NotFoundError
+from ..cloudsim.clock import SimClock
+from .policies import Cache, CacheStats
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheLevel(Generic[K, V]):
+    """One level: a named cache plus the cost of consulting it."""
+
+    name: str
+    cache: Cache
+    access_cost_s: float
+
+    def __post_init__(self) -> None:
+        if self.access_cost_s < 0:
+            raise ConfigurationError(f"level {self.name}: negative cost")
+
+
+@dataclass
+class Origin(Generic[K, V]):
+    """The authoritative source behind the hierarchy."""
+
+    name: str
+    loader: Callable[[K], V]
+    access_cost_s: float
+    fetches: int = 0
+
+    def load(self, key: K) -> V:
+        self.fetches += 1
+        return self.loader(key)
+
+
+@dataclass(frozen=True)
+class LookupResult(Generic[V]):
+    """Outcome of one hierarchy lookup."""
+
+    value: V
+    served_by: str          # level name or origin name
+    latency_s: float        # total simulated time charged
+    levels_probed: int
+
+
+class CacheHierarchy(Generic[K, V]):
+    """Nearest-first chain of cache levels over an origin."""
+
+    def __init__(self, levels: List[CacheLevel], origin: Origin,
+                 clock: Optional[SimClock] = None,
+                 promote: bool = True) -> None:
+        if not levels:
+            raise ConfigurationError("hierarchy needs at least one level")
+        self.levels = list(levels)
+        self.origin = origin
+        self.clock = clock if clock is not None else SimClock()
+        self.promote = promote
+
+    def get(self, key: K) -> LookupResult:
+        """Fetch through the hierarchy, charging simulated time."""
+        start = self.clock.now
+        probed = 0
+        for depth, level in enumerate(self.levels):
+            probed += 1
+            self.clock.advance(level.access_cost_s)
+            value = level.cache.get(key)
+            if value is not None:
+                if self.promote:
+                    self._fill(key, value, upto=depth)
+                return LookupResult(value, level.name,
+                                    self.clock.now - start, probed)
+        self.clock.advance(self.origin.access_cost_s)
+        value = self.origin.load(key)
+        self._fill(key, value, upto=len(self.levels))
+        return LookupResult(value, self.origin.name,
+                            self.clock.now - start, probed)
+
+    def put(self, key: K, value: V) -> None:
+        """Write-through: install in every level."""
+        for level in self.levels:
+            level.cache.put(key, value)
+
+    def invalidate(self, key: K) -> int:
+        """Drop the key everywhere; returns how many levels held it."""
+        return sum(1 for level in self.levels if level.cache.invalidate(key))
+
+    def _fill(self, key: K, value: V, upto: int) -> None:
+        for level in self.levels[:upto]:
+            level.cache.put(key, value)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats_by_level(self) -> List[Tuple[str, CacheStats]]:
+        return [(level.name, level.cache.stats) for level in self.levels]
+
+    def overall_hit_ratio(self) -> float:
+        """Fraction of lookups answered by any cache level."""
+        first = self.levels[0].cache.stats
+        total = first.lookups
+        if total == 0:
+            return 0.0
+        return 1.0 - self.origin.fetches / total

@@ -1,0 +1,296 @@
+"""Cache eviction policies (Sections I, III).
+
+"Our system employs caching at multiple levels and not just at the client
+level."  This module provides the single-node cache with pluggable
+eviction policies — LRU, LFU, 2Q, and TTL-bounded variants — and hit/miss
+accounting.  The A1 ablation benchmark compares the policies on Zipf,
+looping, and shifting traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generic, Hashable, Optional, Tuple, TypeVar
+
+from ..core.errors import ConfigurationError
+from ..cloudsim.clock import SimClock
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class Cache(Generic[K, V]):
+    """Abstract bounded cache; subclasses define the victim choice."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+
+    # Subclass surface -------------------------------------------------------
+
+    def _contains(self, key: K) -> bool:
+        raise NotImplementedError
+
+    def _read(self, key: K) -> V:
+        raise NotImplementedError
+
+    def _write(self, key: K, value: V) -> None:
+        raise NotImplementedError
+
+    def _remove(self, key: K) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # Public API --------------------------------------------------------------
+
+    def get(self, key: K) -> Optional[V]:
+        """Value for key, or None; updates stats."""
+        if self._contains(key):
+            self.stats.hits += 1
+            return self._read(key)
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: K, value: V) -> None:
+        self._write(key, value)
+
+    def invalidate(self, key: K) -> bool:
+        """Drop one entry (consistency protocols call this)."""
+        if self._contains(key):
+            self._remove(key)
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class LruCache(Cache[K, V]):
+    """Least-recently-used eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def _contains(self, key: K) -> bool:
+        return key in self._data
+
+    def _read(self, key: K) -> V:
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def _write(self, key: K, value: V) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        elif len(self._data) >= self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+        self._data[key] = value
+
+    def _remove(self, key: K) -> None:
+        del self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class LfuCache(Cache[K, V]):
+    """Least-frequently-used eviction (ties broken by recency)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._data: Dict[K, V] = {}
+        self._freq: Counter = Counter()
+        self._recency: Dict[K, int] = {}
+        self._tick = 0
+
+    def _touch(self, key: K) -> None:
+        self._tick += 1
+        self._freq[key] += 1
+        self._recency[key] = self._tick
+
+    def _contains(self, key: K) -> bool:
+        return key in self._data
+
+    def _read(self, key: K) -> V:
+        self._touch(key)
+        return self._data[key]
+
+    def _write(self, key: K, value: V) -> None:
+        if key not in self._data and len(self._data) >= self.capacity:
+            victim = min(self._data,
+                         key=lambda k: (self._freq[k], self._recency[k]))
+            del self._data[victim]
+            del self._freq[victim]
+            del self._recency[victim]
+            self.stats.evictions += 1
+        self._data[key] = value
+        self._touch(key)
+
+    def _remove(self, key: K) -> None:
+        del self._data[key]
+        del self._freq[key]
+        del self._recency[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._freq.clear()
+        self._recency.clear()
+
+
+class TwoQueueCache(Cache[K, V]):
+    """2Q: a FIFO probation queue filters one-hit wonders from the LRU main."""
+
+    def __init__(self, capacity: int, probation_fraction: float = 0.25) -> None:
+        super().__init__(capacity)
+        if not 0.0 < probation_fraction < 1.0:
+            raise ConfigurationError("probation_fraction must be in (0, 1)")
+        # Probation + main always sum to exactly ``capacity``; a 1-entry
+        # cache degenerates to probation-only (no promotion possible).
+        self._probation_cap = min(capacity,
+                                  max(1, int(capacity * probation_fraction)))
+        self._main_cap = capacity - self._probation_cap
+        self._probation: "OrderedDict[K, V]" = OrderedDict()
+        self._main: "OrderedDict[K, V]" = OrderedDict()
+
+    def _contains(self, key: K) -> bool:
+        return key in self._probation or key in self._main
+
+    def _read(self, key: K) -> V:
+        if key in self._main:
+            self._main.move_to_end(key)
+            return self._main[key]
+        if self._main_cap == 0:
+            return self._probation[key]  # degenerate: nowhere to promote
+        # Second touch promotes probation -> main.
+        value = self._probation.pop(key)
+        self._admit_to_main(key, value)
+        return value
+
+    def _admit_to_main(self, key: K, value: V) -> None:
+        if len(self._main) >= self._main_cap:
+            self._main.popitem(last=False)
+            self.stats.evictions += 1
+        self._main[key] = value
+
+    def _write(self, key: K, value: V) -> None:
+        if key in self._main:
+            self._main[key] = value
+            self._main.move_to_end(key)
+            return
+        if key in self._probation:
+            self._probation[key] = value
+            return
+        if len(self._probation) >= self._probation_cap:
+            self._probation.popitem(last=False)
+            self.stats.evictions += 1
+        self._probation[key] = value
+
+    def _remove(self, key: K) -> None:
+        if key in self._probation:
+            del self._probation[key]
+        else:
+            del self._main[key]
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._main)
+
+    def clear(self) -> None:
+        self._probation.clear()
+        self._main.clear()
+
+
+class TtlCache(Cache[K, V]):
+    """LRU bounded by capacity *and* a per-entry time-to-live.
+
+    Expiry is the simplest cache-consistency mechanism Section III
+    discusses; the consistency module builds the stronger protocols.
+    """
+
+    def __init__(self, capacity: int, ttl_s: float,
+                 clock: Optional[SimClock] = None) -> None:
+        super().__init__(capacity)
+        if ttl_s <= 0:
+            raise ConfigurationError("ttl must be positive")
+        self.ttl_s = ttl_s
+        self.clock = clock if clock is not None else SimClock()
+        self._data: "OrderedDict[K, Tuple[V, float]]" = OrderedDict()
+
+    def _expired(self, key: K) -> bool:
+        _, stored_at = self._data[key]
+        return self.clock.now - stored_at >= self.ttl_s
+
+    def _contains(self, key: K) -> bool:
+        if key not in self._data:
+            return False
+        if self._expired(key):
+            del self._data[key]
+            self.stats.expirations += 1
+            return False
+        return True
+
+    def _read(self, key: K) -> V:
+        self._data.move_to_end(key)
+        return self._data[key][0]
+
+    def _write(self, key: K, value: V) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        elif len(self._data) >= self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+        self._data[key] = (value, self.clock.now)
+
+    def _remove(self, key: K) -> None:
+        del self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+def make_cache(policy: str, capacity: int, ttl_s: float = 60.0,
+               clock: Optional[SimClock] = None) -> Cache:
+    """Factory used by benchmarks: 'lru' | 'lfu' | '2q' | 'ttl'."""
+    if policy == "lru":
+        return LruCache(capacity)
+    if policy == "lfu":
+        return LfuCache(capacity)
+    if policy == "2q":
+        return TwoQueueCache(capacity)
+    if policy == "ttl":
+        return TtlCache(capacity, ttl_s, clock)
+    raise ConfigurationError(f"unknown cache policy {policy!r}")

@@ -1,0 +1,6 @@
+"""Client SDKs: the enhanced client and the thin baseline (Section III-A)."""
+
+from .connection import PlatformConnection
+from .enhanced import BasicClient, EnhancedClient
+
+__all__ = ["PlatformConnection", "BasicClient", "EnhancedClient"]

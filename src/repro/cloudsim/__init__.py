@@ -1,0 +1,54 @@
+"""Simulated IaaS substrate: clock, network, nodes, monitoring, provisioning.
+
+Implements Section II-A's infrastructure cloud as a deterministic
+simulation so that the paper's placement/latency/attestation claims can be
+measured on a laptop.
+"""
+
+from .clock import (
+    EventScheduler,
+    INTER_REGION_ROUND_TRIP,
+    LAN_ROUND_TRIP,
+    LOCAL_MEMORY_ACCESS,
+    SimClock,
+    WAN_ROUND_TRIP,
+)
+from .monitoring import LogEntry, LogStore, MetricsRegistry, MonitoringService, scrub
+from .network import Link, NetworkFabric, TransferRecord, standard_topology
+from .nodes import (
+    Container,
+    Datacenter,
+    Host,
+    NodeState,
+    SoftwareComponent,
+    VirtualMachine,
+    measure,
+)
+from .provisioning import ProvisionRequest, ResourceProvisioningService
+
+__all__ = [
+    "EventScheduler",
+    "SimClock",
+    "LOCAL_MEMORY_ACCESS",
+    "LAN_ROUND_TRIP",
+    "WAN_ROUND_TRIP",
+    "INTER_REGION_ROUND_TRIP",
+    "LogEntry",
+    "LogStore",
+    "MetricsRegistry",
+    "MonitoringService",
+    "scrub",
+    "Link",
+    "NetworkFabric",
+    "TransferRecord",
+    "standard_topology",
+    "Container",
+    "Datacenter",
+    "Host",
+    "NodeState",
+    "SoftwareComponent",
+    "VirtualMachine",
+    "measure",
+    "ProvisionRequest",
+    "ResourceProvisioningService",
+]

@@ -1,0 +1,190 @@
+"""Logging and Monitoring service (Section II-A).
+
+Provides secure, append-only log streams for infrastructure and platform
+services, metric counters/gauges, and an integrity chain over log entries
+so tampering is detectable — the property audit (Section IV-E) relies on.
+Log entries must not contain sensitive data; a scrubber enforces that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Pattern
+
+from ..core.errors import IntegrityError
+from .clock import SimClock
+
+# Patterns that must never appear in logs (PHI scrubbing, Section IV-E:
+# "logged events cannot contain sensitive data").
+_SENSITIVE_PATTERNS: List[Pattern[str]] = [
+    re.compile(r"\b\d{3}-\d{2}-\d{4}\b"),            # SSN
+    re.compile(r"\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b"),  # email
+    re.compile(r"\b(?:\d[ -]*?){13,16}\b"),           # credit-card-like digit runs
+]
+
+
+def scrub(message: str) -> str:
+    """Redact sensitive substrings from a log message."""
+    for pattern in _SENSITIVE_PATTERNS:
+        message = pattern.sub("[REDACTED]", message)
+    return message
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One immutable, hash-chained log record."""
+
+    index: int
+    timestamp: float
+    stream: str
+    level: str
+    message: str
+    attributes: Dict[str, Any]
+    prev_hash: str
+    entry_hash: str
+
+
+def _hash_entry(index: int, timestamp: float, stream: str, level: str,
+                message: str, attributes: Dict[str, Any], prev_hash: str) -> str:
+    payload = json.dumps(
+        [index, timestamp, stream, level, message, attributes, prev_hash],
+        sort_keys=True, separators=(",", ":"),
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class LogStore:
+    """Append-only, hash-chained, scrubbed log store."""
+
+    GENESIS = "0" * 64
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._entries: List[LogEntry] = []
+
+    def append(self, stream: str, message: str, level: str = "INFO",
+               **attributes: Any) -> LogEntry:
+        """Append a scrubbed entry and return it."""
+        message = scrub(message)
+        attributes = {k: scrub(v) if isinstance(v, str) else v
+                      for k, v in attributes.items()}
+        index = len(self._entries)
+        prev_hash = self._entries[-1].entry_hash if self._entries else self.GENESIS
+        timestamp = self.clock.now
+        entry_hash = _hash_entry(index, timestamp, stream, level, message,
+                                 attributes, prev_hash)
+        entry = LogEntry(index, timestamp, stream, level, message,
+                         dict(attributes), prev_hash, entry_hash)
+        self._entries.append(entry)
+        return entry
+
+    def entries(self, stream: Optional[str] = None,
+                level: Optional[str] = None) -> List[LogEntry]:
+        """Filtered view over the log."""
+        result = self._entries
+        if stream is not None:
+            result = [e for e in result if e.stream == stream]
+        if level is not None:
+            result = [e for e in result if e.level == level]
+        return list(result)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def verify_chain(self) -> bool:
+        """Recompute the hash chain; raise IntegrityError on tampering."""
+        prev = self.GENESIS
+        for i, entry in enumerate(self._entries):
+            if entry.index != i or entry.prev_hash != prev:
+                raise IntegrityError(f"log chain broken at index {i}")
+            expected = _hash_entry(entry.index, entry.timestamp, entry.stream,
+                                   entry.level, entry.message,
+                                   entry.attributes, entry.prev_hash)
+            if expected != entry.entry_hash:
+                raise IntegrityError(f"log entry {i} hash mismatch")
+            prev = entry.entry_hash
+        return True
+
+
+class MetricsRegistry:
+    """Counters, gauges, and latency histograms for platform services."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+
+    def incr(self, name: str, value: float = 1.0) -> float:
+        self._counters[name] = self._counters.get(name, 0.0) + value
+        return self._counters[name]
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    def observe(self, name: str, value: float) -> None:
+        self._histograms.setdefault(name, []).append(value)
+
+    def summary(self, name: str) -> Dict[str, float]:
+        """count/mean/min/max/p50/p95/p99 for a histogram."""
+        values = sorted(self._histograms.get(name, []))
+        if not values:
+            return {"count": 0}
+        n = len(values)
+
+        def pct(p: float) -> float:
+            return values[min(n - 1, int(p * n))]
+
+        return {
+            "count": n,
+            "mean": sum(values) / n,
+            "min": values[0],
+            "max": values[-1],
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+            "p99": pct(0.99),
+        }
+
+    def histogram_values(self, name: str) -> List[float]:
+        return list(self._histograms.get(name, []))
+
+
+class MonitoringService:
+    """Facade combining logs and metrics, shared by all platform services."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.logs = LogStore(self.clock)
+        self.metrics = MetricsRegistry()
+
+    def log(self, stream: str, message: str, level: str = "INFO",
+            **attributes: Any) -> LogEntry:
+        self.metrics.incr(f"log.{stream}.{level.lower()}")
+        return self.logs.append(stream, message, level=level, **attributes)
+
+    def timed(self, metric: str) -> "_Timer":
+        """Context manager measuring a simulated-time span."""
+        return _Timer(self, metric)
+
+
+class _Timer:
+    def __init__(self, monitoring: MonitoringService, metric: str) -> None:
+        self._monitoring = monitoring
+        self._metric = metric
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._monitoring.clock.now
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        elapsed = self._monitoring.clock.now - self._start
+        self._monitoring.metrics.observe(self._metric, elapsed)

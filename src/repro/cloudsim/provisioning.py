@@ -1,0 +1,101 @@
+"""Resource Provisioning service (Section II-A).
+
+Creates "trusted secure health cloud instances": places VMs on attested
+hosts, boots only signed images approved by the Image Management service,
+and extends the trust chain as each layer comes up.  The trusted package
+supplies the attestation hooks; provisioning enforces their verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import AttestationError, ConfigurationError
+from ..core.ids import IdFactory
+from .monitoring import MonitoringService
+from .nodes import Container, Datacenter, Host, SoftwareComponent, VirtualMachine
+
+# Hook signatures: the trusted package plugs in real attestation; tests can
+# plug in stubs.  A hook returns True for "trusted" and False otherwise.
+HostAttestor = Callable[[Host], bool]
+ImageApprover = Callable[[SoftwareComponent], bool]
+
+
+@dataclass
+class ProvisionRequest:
+    """Shape of a requested health cloud instance VM."""
+
+    vcpus: int = 2
+    memory_mb: int = 4096
+    image: Optional[SoftwareComponent] = None
+    labels: Optional[Dict[str, str]] = None
+
+
+class ResourceProvisioningService:
+    """Places VMs/containers only on attested, approved components."""
+
+    def __init__(self, datacenter: Datacenter,
+                 monitoring: Optional[MonitoringService] = None,
+                 host_attestor: Optional[HostAttestor] = None,
+                 image_approver: Optional[ImageApprover] = None,
+                 ids: Optional[IdFactory] = None) -> None:
+        self.datacenter = datacenter
+        self.monitoring = monitoring if monitoring is not None else MonitoringService()
+        self._host_attestor = host_attestor if host_attestor is not None else (lambda h: h.has_tpm)
+        self._image_approver = image_approver if image_approver is not None else (lambda img: True)
+        self._ids = ids if ids is not None else IdFactory()
+
+    def provision_vm(self, request: ProvisionRequest,
+                     bios: SoftwareComponent,
+                     kernel: SoftwareComponent) -> VirtualMachine:
+        """Provision a VM from a signed image onto an attested host."""
+        if request.image is None:
+            raise ConfigurationError("provision request needs an image")
+        if not self._image_approver(request.image):
+            self.monitoring.log("provisioning",
+                                f"rejected unapproved image {request.image.name}",
+                                level="WARN")
+            raise AttestationError(
+                f"image {request.image.name} is not approved/signed")
+
+        host = self._find_attested_host(request.vcpus, request.memory_mb)
+        vm = VirtualMachine(
+            vm_id=self._ids.new("vm"),
+            bios=bios,
+            kernel=kernel,
+            image=request.image,
+            vcpus=request.vcpus,
+            memory_mb=request.memory_mb,
+        )
+        host.launch_vm(vm)
+        self.monitoring.metrics.incr("provisioning.vms")
+        self.monitoring.log("provisioning",
+                            f"vm {vm.vm_id} placed on {host.host_id}")
+        return vm
+
+    def provision_container(self, vm: VirtualMachine,
+                            image: SoftwareComponent,
+                            labels: Optional[Dict[str, str]] = None) -> Container:
+        """Launch an approved container image inside a VM."""
+        if not self._image_approver(image):
+            raise AttestationError(
+                f"container image {image.name} is not approved/signed")
+        container = vm.launch_container(self._ids.new("ctr"), image, labels)
+        self.monitoring.metrics.incr("provisioning.containers")
+        return container
+
+    def _find_attested_host(self, vcpus: int, memory_mb: int) -> Host:
+        """First host that both fits the shape and passes attestation."""
+        rejected: List[str] = []
+        for host in self.datacenter.hosts.values():
+            if (host.available_vcpus() >= vcpus
+                    and host.available_memory_mb() >= memory_mb):
+                if self._host_attestor(host):
+                    return host
+                rejected.append(host.host_id)
+        if rejected:
+            raise AttestationError(
+                f"hosts {rejected} fit the request but failed attestation")
+        raise ConfigurationError(
+            f"no host fits {vcpus} vcpus / {memory_mb} MB")

@@ -1,0 +1,32 @@
+"""Compliance: HIPAA/GDPR/GxP controls, change management, audit (Section IV)."""
+
+from .audit import AuditReport, AuditService
+from .change import ChangeManagementService, ChangeRequest, ChangeState
+from .devops import BuildRecord, BuildStage, CompliantDevOpsPipeline
+from .gdpr import ErasureReceipt, GdprService, SubjectAccessReport
+from .hipaa import (
+    Control,
+    ControlStatus,
+    HipaaControlRegistry,
+    Pillar,
+    STANDARD_CONTROLS,
+)
+
+__all__ = [
+    "AuditReport",
+    "AuditService",
+    "ChangeManagementService",
+    "ChangeRequest",
+    "ChangeState",
+    "BuildRecord",
+    "BuildStage",
+    "CompliantDevOpsPipeline",
+    "ErasureReceipt",
+    "GdprService",
+    "SubjectAccessReport",
+    "Control",
+    "ControlStatus",
+    "HipaaControlRegistry",
+    "Pillar",
+    "STANDARD_CONTROLS",
+]

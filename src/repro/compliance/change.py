@@ -1,0 +1,134 @@
+"""Change Management service (Section II-B).
+
+"Change Management service is one of the very important services that
+(under the guidance of a compliant policy) controls changes to any
+deployed component, infrastructure and software alike.  All authorized
+changes are first described, evaluated and finally approved in the change
+management system; thereafter the CM service accordingly updates the
+Attestation Service regarding the approved changes and their new
+signatures."
+
+A change request moves DESCRIBED -> EVALUATED -> APPROVED -> APPLIED.
+Applying an approved change is the *only* path that updates the
+attestation service's golden values — an unapproved modification therefore
+makes the component fail its next attestation, which is the detection
+property E2/E4 exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..core.errors import ChangeManagementError
+from ..trusted.attestation import AttestationService
+from ..trusted.tpm import Tpm
+
+
+class ChangeState(Enum):
+    DESCRIBED = "described"
+    EVALUATED = "evaluated"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    APPLIED = "applied"
+
+
+@dataclass
+class ChangeRequest:
+    """One controlled change to a deployed component."""
+
+    change_id: str
+    component: str            # e.g. "tpm:host-1" or a service name
+    description: str
+    requested_by: str
+    state: ChangeState = ChangeState.DESCRIBED
+    evaluation_notes: str = ""
+    approved_by: Optional[str] = None
+    new_pcr_values: Dict[int, str] = field(default_factory=dict)
+
+
+class ChangeManagementService:
+    """Describe/evaluate/approve workflow wired to the attestation service."""
+
+    def __init__(self, attestation: AttestationService) -> None:
+        self._attestation = attestation
+        self._changes: Dict[str, ChangeRequest] = {}
+        self._counter = 0
+
+    def describe(self, component: str, description: str,
+                 requested_by: str) -> ChangeRequest:
+        """Open a change request."""
+        self._counter += 1
+        change = ChangeRequest(
+            change_id=f"chg-{self._counter:06d}",
+            component=component,
+            description=description,
+            requested_by=requested_by,
+        )
+        self._changes[change.change_id] = change
+        return change
+
+    def evaluate(self, change_id: str, notes: str) -> ChangeRequest:
+        change = self._get(change_id)
+        self._require_state(change, ChangeState.DESCRIBED)
+        change.state = ChangeState.EVALUATED
+        change.evaluation_notes = notes
+        return change
+
+    def approve(self, change_id: str, approver: str) -> ChangeRequest:
+        change = self._get(change_id)
+        self._require_state(change, ChangeState.EVALUATED)
+        if approver == change.requested_by:
+            raise ChangeManagementError(
+                "separation of duties: requester cannot approve own change")
+        change.state = ChangeState.APPROVED
+        change.approved_by = approver
+        return change
+
+    def reject(self, change_id: str, approver: str) -> ChangeRequest:
+        change = self._get(change_id)
+        self._require_state(change, ChangeState.EVALUATED)
+        change.state = ChangeState.REJECTED
+        change.approved_by = approver
+        return change
+
+    def apply_platform_change(self, change_id: str, tpm: Tpm,
+                              pcr_index: int, component_name: str,
+                              new_measurement: str,
+                              golden_pcrs: List[int]) -> ChangeRequest:
+        """Apply an approved software change to a measured platform.
+
+        Extends the PCR with the new component measurement and refreshes
+        the attestation service's golden values, so the changed platform
+        still attests as trusted — the legitimate-upgrade path.
+        """
+        change = self._get(change_id)
+        self._require_state(change, ChangeState.APPROVED)
+        tpm.extend(pcr_index, component_name, new_measurement)
+        new_golden = {i: tpm.read_pcr(i) for i in golden_pcrs}
+        self._attestation.set_golden_values(tpm.tpm_id, new_golden)
+        change.state = ChangeState.APPLIED
+        change.new_pcr_values = new_golden
+        return change
+
+    def pending(self) -> List[ChangeRequest]:
+        return [c for c in self._changes.values()
+                if c.state in (ChangeState.DESCRIBED, ChangeState.EVALUATED)]
+
+    def history(self) -> List[ChangeRequest]:
+        return sorted(self._changes.values(), key=lambda c: c.change_id)
+
+    def _get(self, change_id: str) -> ChangeRequest:
+        try:
+            return self._changes[change_id]
+        except KeyError:
+            raise ChangeManagementError(
+                f"change {change_id} not found") from None
+
+    @staticmethod
+    def _require_state(change: ChangeRequest, expected: ChangeState) -> None:
+        if change.state is not expected:
+            raise ChangeManagementError(
+                f"change {change.change_id} is {change.state.value}, "
+                f"expected {expected.value}")

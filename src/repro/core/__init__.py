@@ -1,0 +1,27 @@
+"""Core platform package: errors, identifiers, and the platform facade.
+
+The facade itself (:class:`~repro.core.platform.HealthCloudPlatform`) is
+imported lazily by user code because it pulls in every subsystem.
+"""
+
+from . import errors
+from .api import ApiGateway, ApiResponse, RateLimiter, RouteSpec
+from .ids import IdFactory, content_id
+from .metering import DEFAULT_PRICES, Invoice, MeteringService, UsageRecord
+from .reports import Report, ReportService
+
+__all__ = [
+    "errors",
+    "ApiGateway",
+    "ApiResponse",
+    "RateLimiter",
+    "RouteSpec",
+    "IdFactory",
+    "content_id",
+    "DEFAULT_PRICES",
+    "Invoice",
+    "MeteringService",
+    "UsageRecord",
+    "Report",
+    "ReportService",
+]

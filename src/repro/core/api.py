@@ -1,0 +1,157 @@
+"""API and API Management (Section II-B).
+
+"The platform exposes secure APIs for all its capabilities.  The API
+management system first authenticates the user requesting the APIs, and
+once successfully authenticated, it consults the Privacy Management
+system and allows API access accordingly."
+
+:class:`ApiGateway` is that front door: token authentication through the
+federated identity service, per-route RBAC requirements consulted on
+every call, per-tenant rate limiting, audit logging of every request, and
+metering hooks for billing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..cloudsim.clock import SimClock
+from ..cloudsim.monitoring import MonitoringService
+from ..core.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    NotFoundError,
+)
+from ..rbac.engine import RbacEngine
+from ..rbac.federation import FederatedIdentityService, IdentityToken
+from ..rbac.model import Action, Scope, ScopeKind, User
+
+Handler = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class RouteSpec:
+    """One exposed API route and its access requirement."""
+
+    path: str
+    handler: Handler
+    action: Action
+    resource_type: str
+    scope_kind: ScopeKind   # scope entity id comes from the request
+    description: str = ""
+
+
+@dataclass
+class RateLimiter:
+    """Fixed-window per-key rate limiter on the simulated clock."""
+
+    limit: int
+    window_s: float
+    clock: SimClock
+    _windows: Dict[str, Tuple[float, int]] = field(default_factory=dict)
+
+    def allow(self, key: str) -> bool:
+        window_start, count = self._windows.get(key, (self.clock.now, 0))
+        if self.clock.now - window_start >= self.window_s:
+            window_start, count = self.clock.now, 0
+        if count >= self.limit:
+            self._windows[key] = (window_start, count)
+            return False
+        self._windows[key] = (window_start, count + 1)
+        return True
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """Uniform response envelope."""
+
+    status: int
+    body: Any
+    request_id: str
+
+
+class ApiGateway:
+    """Authenticating, authorizing, rate-limited, audited API front door."""
+
+    def __init__(self, rbac: RbacEngine,
+                 federation: FederatedIdentityService,
+                 monitoring: Optional[MonitoringService] = None,
+                 clock: Optional[SimClock] = None,
+                 rate_limit: int = 100, rate_window_s: float = 60.0,
+                 meter: Optional[Callable[[str, str], None]] = None) -> None:
+        self.rbac = rbac
+        self.federation = federation
+        self.clock = clock if clock is not None else SimClock()
+        self.monitoring = (monitoring if monitoring is not None
+                           else MonitoringService(self.clock))
+        self._routes: Dict[str, RouteSpec] = {}
+        self._limiter = RateLimiter(rate_limit, rate_window_s, self.clock)
+        self._meter = meter
+        self._request_counter = 0
+
+    def register_route(self, route: RouteSpec) -> None:
+        """Expose a capability behind an access requirement."""
+        if route.path in self._routes:
+            raise NotFoundError(f"route {route.path!r} already registered")
+        self._routes[route.path] = route
+
+    def routes(self) -> List[str]:
+        return sorted(self._routes)
+
+    def call(self, path: str, token: IdentityToken, *,
+             scope_entity_id: str, org_id: str, env_id: str,
+             **kwargs: Any) -> ApiResponse:
+        """One API request through the full management stack.
+
+        Order mirrors the paper: authenticate first, then consult the
+        Privacy Management (RBAC) system, then dispatch.  Every outcome is
+        audited; rate limits apply per authenticated tenant.
+        """
+        self._request_counter += 1
+        request_id = f"req-{self._request_counter:08d}"
+        route = self._routes.get(path)
+        if route is None:
+            self.monitoring.log("api", f"{request_id} 404 {path}",
+                                level="WARN")
+            return ApiResponse(404, {"error": f"no route {path}"}, request_id)
+
+        # 1. Authentication (federated identity).
+        try:
+            user: User = self.federation.authenticate(token)
+        except AuthenticationError as exc:
+            self.monitoring.log("api", f"{request_id} 401 {path}: {exc}",
+                                level="WARN")
+            return ApiResponse(401, {"error": str(exc)}, request_id)
+
+        # 2. Rate limiting per tenant.
+        if not self._limiter.allow(user.tenant_id):
+            self.monitoring.log("api",
+                                f"{request_id} 429 {path} tenant "
+                                f"{user.tenant_id}", level="WARN")
+            return ApiResponse(429, {"error": "rate limit exceeded"},
+                               request_id)
+
+        # 3. Authorization via the Privacy Management system.
+        scope = Scope(route.scope_kind, scope_entity_id)
+        try:
+            self.rbac.require(user.user_id, route.action,
+                              route.resource_type, scope, org_id, env_id)
+        except AuthorizationError as exc:
+            self.monitoring.log("api", f"{request_id} 403 {path} "
+                                f"user {user.user_id}", level="WARN")
+            return ApiResponse(403, {"error": str(exc)}, request_id)
+
+        # 4. Dispatch, meter, audit.
+        try:
+            body = route.handler(user=user, **kwargs)
+        except Exception as exc:  # surface handler faults as 500s
+            self.monitoring.log("api", f"{request_id} 500 {path}: {exc}",
+                                level="ERROR")
+            return ApiResponse(500, {"error": str(exc)}, request_id)
+        if self._meter is not None:
+            self._meter(user.tenant_id, path)
+        self.monitoring.log("api",
+                            f"{request_id} 200 {path} user {user.user_id}")
+        self.monitoring.metrics.incr(f"api.{path}.200")
+        return ApiResponse(200, body, request_id)

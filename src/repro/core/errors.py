@@ -1,0 +1,104 @@
+"""Typed error hierarchy for the health cloud platform.
+
+Every failure surfaced by the platform is an instance of
+:class:`HealthCloudError`.  Subsystems raise the narrowest subclass that
+describes the fault so callers can catch exactly what they can handle.
+"""
+
+from __future__ import annotations
+
+
+class HealthCloudError(Exception):
+    """Base class for all platform errors."""
+
+
+class ConfigurationError(HealthCloudError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class AuthenticationError(HealthCloudError):
+    """The caller's identity could not be established."""
+
+
+class AuthorizationError(HealthCloudError):
+    """The caller's identity is known but lacks the required permission."""
+
+
+class NotFoundError(HealthCloudError):
+    """A referenced entity (tenant, user, record, key, ...) does not exist."""
+
+
+class AlreadyExistsError(HealthCloudError):
+    """An entity with the same identifier already exists."""
+
+
+class ValidationError(HealthCloudError):
+    """Submitted data failed schema or semantic validation."""
+
+
+class IntegrityError(HealthCloudError):
+    """A cryptographic integrity or authenticity check failed."""
+
+
+class AttestationError(HealthCloudError):
+    """A platform component failed trust appraisal against golden values."""
+
+
+class ConsentError(HealthCloudError):
+    """An operation would use patient data without a covering consent."""
+
+
+class AnonymizationError(HealthCloudError):
+    """Data claimed to be anonymized does not meet the required degree."""
+
+
+class MalwareDetectedError(HealthCloudError):
+    """The data filtration system flagged the payload as malicious."""
+
+
+class KeyManagementError(HealthCloudError):
+    """A key could not be created, fetched, or has been destroyed."""
+
+
+class LedgerError(HealthCloudError):
+    """A blockchain transaction was rejected or the ledger is inconsistent."""
+
+
+class EndorsementError(LedgerError):
+    """A transaction failed to gather the endorsements its policy requires."""
+
+
+class IngestionError(HealthCloudError):
+    """The asynchronous ingestion pipeline rejected an upload."""
+
+
+class ExportError(HealthCloudError):
+    """A data export request could not be satisfied."""
+
+
+class ComplianceError(HealthCloudError):
+    """An operation would violate a regulatory control (HIPAA/GDPR/GxP)."""
+
+
+class ChangeManagementError(ComplianceError):
+    """A deployment change was attempted without an approved change record."""
+
+
+class GatewayError(HealthCloudError):
+    """Intercloud workload transfer failed."""
+
+
+class ServiceUnavailableError(HealthCloudError):
+    """An external (simulated) web service is down or timed out."""
+
+
+class CacheConsistencyError(HealthCloudError):
+    """A cache consistency protocol invariant was violated."""
+
+
+class ModelLifecycleError(HealthCloudError):
+    """An analytics model was used in a stage that its lifecycle forbids."""
+
+
+class DisconnectedError(HealthCloudError):
+    """A client operation required connectivity while offline."""

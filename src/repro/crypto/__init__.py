@@ -1,0 +1,85 @@
+"""Cryptographic substrate: AEAD, RSA, KMS, Merkle, redactable signatures.
+
+Implements Section IV-B's data-security mechanisms.  Primitives are real
+computations (the cost comparisons in E6/E7 are measurements, not mocks);
+only the block cipher is substituted by an HMAC-CTR stream, documented in
+DESIGN.md.
+"""
+
+from .integrity import GraphAuthTag, GraphAuthenticator
+from .kms import DataKey, KeyManagementService, KeyState, KmsFleet, ManagedKey
+from .merkle import MerkleProof, MerkleTree, require_proof, verify_proof
+from .redactable import (
+    RedactableSigner,
+    RedactedShare,
+    SignedRecord,
+    deterministic_rng,
+    merkle_baseline_leakage_bits,
+    redact,
+    require_share,
+    structural_leakage_bits,
+    verify_share,
+)
+from .rsa import (
+    HybridCiphertext,
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_keypair,
+    hybrid_decrypt,
+    hybrid_encrypt,
+    rsa_decrypt,
+    rsa_encrypt,
+    rsa_sign,
+    rsa_verify,
+)
+from .signcryption import SigncryptedMessage, signcrypt, unsigncrypt
+from .symmetric import (
+    Ciphertext,
+    SharedKeyCipher,
+    compute_hmac,
+    generate_key,
+    hkdf_expand,
+    verify_hmac,
+)
+
+__all__ = [
+    "GraphAuthTag",
+    "GraphAuthenticator",
+    "DataKey",
+    "KeyManagementService",
+    "KeyState",
+    "KmsFleet",
+    "ManagedKey",
+    "MerkleProof",
+    "MerkleTree",
+    "require_proof",
+    "verify_proof",
+    "RedactableSigner",
+    "RedactedShare",
+    "SignedRecord",
+    "deterministic_rng",
+    "merkle_baseline_leakage_bits",
+    "redact",
+    "require_share",
+    "structural_leakage_bits",
+    "verify_share",
+    "HybridCiphertext",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "generate_keypair",
+    "hybrid_decrypt",
+    "hybrid_encrypt",
+    "rsa_decrypt",
+    "rsa_encrypt",
+    "rsa_sign",
+    "rsa_verify",
+    "SigncryptedMessage",
+    "signcrypt",
+    "unsigncrypt",
+    "Ciphertext",
+    "SharedKeyCipher",
+    "compute_hmac",
+    "generate_key",
+    "hkdf_expand",
+    "verify_hmac",
+]

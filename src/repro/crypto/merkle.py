@@ -1,0 +1,92 @@
+"""Merkle hash trees with membership proofs.
+
+Used two ways in the platform: (i) as the baseline integrity scheme the
+paper says *leaks* structural information when records are shared in parts
+(Section IV-B1), against which the leakage-free redactable scheme is
+compared; (ii) inside the blockchain package to commit a block's
+transaction set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.errors import IntegrityError
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Authentication path for one leaf: (sibling_hash, sibling_is_left)."""
+
+    leaf_index: int
+    path: Tuple[Tuple[bytes, bool], ...]
+
+
+class MerkleTree:
+    """Binary Merkle tree over a sequence of byte-string leaves."""
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        if not leaves:
+            raise ValueError("Merkle tree needs at least one leaf")
+        self._leaves = [bytes(leaf) for leaf in leaves]
+        self._levels: List[List[bytes]] = [[_leaf_hash(l) for l in self._leaves]]
+        while len(self._levels[-1]) > 1:
+            current = self._levels[-1]
+            next_level = []
+            for i in range(0, len(current), 2):
+                left = current[i]
+                right = current[i + 1] if i + 1 < len(current) else current[i]
+                next_level.append(_node_hash(left, right))
+            self._levels.append(next_level)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Authentication path for leaf ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        path: List[Tuple[bytes, bool]] = []
+        i = index
+        for level in self._levels[:-1]:
+            sibling = i ^ 1
+            if sibling >= len(level):
+                sibling = i  # odd node duplicated
+            path.append((level[sibling], sibling < i))
+            i //= 2
+        return MerkleProof(index, tuple(path))
+
+
+def verify_proof(root: bytes, leaf_data: bytes, proof: MerkleProof) -> bool:
+    """Check a membership proof against a trusted root."""
+    current = _leaf_hash(leaf_data)
+    for sibling, sibling_is_left in proof.path:
+        if sibling_is_left:
+            current = _node_hash(sibling, current)
+        else:
+            current = _node_hash(current, sibling)
+    return current == root
+
+
+def require_proof(root: bytes, leaf_data: bytes, proof: MerkleProof) -> None:
+    """Raise IntegrityError when a proof does not verify."""
+    if not verify_proof(root, leaf_data, proof):
+        raise IntegrityError("Merkle membership proof failed")

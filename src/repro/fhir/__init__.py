@@ -1,0 +1,38 @@
+"""FHIR-subset data model, validation, and HL7v2 adapter (Section II-B)."""
+
+from .hl7v2 import bundle_to_hl7, hl7_to_bundle, message_type
+from .resources import (
+    Bundle,
+    Condition,
+    Consent,
+    DiagnosticReport,
+    Encounter,
+    HumanName,
+    MedicationRequest,
+    Observation,
+    Patient,
+    Practitioner,
+    Resource,
+    resource_from_dict,
+)
+from .validation import BundleValidator, ValidationReport
+
+__all__ = [
+    "bundle_to_hl7",
+    "hl7_to_bundle",
+    "message_type",
+    "Bundle",
+    "Condition",
+    "Consent",
+    "DiagnosticReport",
+    "Encounter",
+    "HumanName",
+    "MedicationRequest",
+    "Observation",
+    "Patient",
+    "Practitioner",
+    "Resource",
+    "resource_from_dict",
+    "BundleValidator",
+    "ValidationReport",
+]

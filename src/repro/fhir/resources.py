@@ -1,0 +1,233 @@
+"""FHIR-R4-subset resource model (Section II-B, "Data Ingestion and Export").
+
+"Our system adopts FHIR as the data ingestion format."  We implement the
+subset of FHIR resources the platform's applications need — Patient,
+Practitioner, Observation, Condition, MedicationRequest, Consent, and
+Bundle — with JSON (de)serialisation that round-trips, so adapters for
+other exchange formats (HL7v2) can target a stable in-memory model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import Any, Dict, List, Optional, Type, TypeVar
+
+from ..core.errors import ValidationError
+
+T = TypeVar("T", bound="Resource")
+
+
+@dataclass
+class Resource:
+    """Common FHIR resource scaffolding."""
+
+    id: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    RESOURCE_TYPE = "Resource"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """FHIR-style JSON object with ``resourceType`` discriminator."""
+        data: Dict[str, Any] = {"resourceType": self.RESOURCE_TYPE}
+        for f in dc_fields(self):
+            value = getattr(self, f.name)
+            if value not in (None, [], {}):
+                data[f.name] = value
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls: Type[T], data: Dict[str, Any]) -> T:
+        payload = dict(data)
+        declared = payload.pop("resourceType", cls.RESOURCE_TYPE)
+        if declared != cls.RESOURCE_TYPE:
+            raise ValidationError(
+                f"expected resourceType {cls.RESOURCE_TYPE}, got {declared}")
+        known = {f.name for f in dc_fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValidationError(
+                f"{cls.RESOURCE_TYPE}: unknown elements {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass
+class HumanName:
+    """Simplified FHIR HumanName."""
+
+    family: str = ""
+    given: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"family": self.family, "given": list(self.given)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HumanName":
+        return cls(family=data.get("family", ""),
+                   given=list(data.get("given", [])))
+
+
+@dataclass
+class Patient(Resource):
+    """FHIR Patient with the demographics PHI handling cares about."""
+
+    name: Dict[str, Any] = field(default_factory=dict)      # HumanName dict
+    birthDate: Optional[str] = None                          # YYYY-MM-DD
+    gender: Optional[str] = None                             # male|female|other|unknown
+    address: Dict[str, Any] = field(default_factory=dict)    # line/city/state/postalCode
+    telecom: List[Dict[str, Any]] = field(default_factory=list)
+    identifier: List[Dict[str, Any]] = field(default_factory=list)  # MRN, SSN...
+
+    RESOURCE_TYPE = "Patient"
+
+
+@dataclass
+class Practitioner(Resource):
+    """FHIR Practitioner (doctors, healthcare staff)."""
+
+    name: Dict[str, Any] = field(default_factory=dict)
+    qualification: Optional[str] = None
+
+    RESOURCE_TYPE = "Practitioner"
+
+
+@dataclass
+class Observation(Resource):
+    """FHIR Observation — laboratory results (e.g. HbA1c for DELT)."""
+
+    status: str = "final"
+    code: Dict[str, Any] = field(default_factory=dict)   # {"text": "HbA1c", "loinc": ...}
+    subject: Optional[str] = None                         # "Patient/<id>"
+    effectiveDateTime: Optional[str] = None
+    valueQuantity: Dict[str, Any] = field(default_factory=dict)  # {"value": .., "unit": ..}
+
+    RESOURCE_TYPE = "Observation"
+
+
+@dataclass
+class Condition(Resource):
+    """FHIR Condition — diagnoses (ICD-ish coded)."""
+
+    code: Dict[str, Any] = field(default_factory=dict)
+    subject: Optional[str] = None
+    onsetDateTime: Optional[str] = None
+    clinicalStatus: str = "active"
+
+    RESOURCE_TYPE = "Condition"
+
+
+@dataclass
+class MedicationRequest(Resource):
+    """FHIR MedicationRequest — drug prescriptions (DELT's exposures)."""
+
+    status: str = "active"
+    medication: Dict[str, Any] = field(default_factory=dict)  # {"text": drug name}
+    subject: Optional[str] = None
+    authoredOn: Optional[str] = None
+    dosageText: Optional[str] = None
+
+    RESOURCE_TYPE = "MedicationRequest"
+
+
+@dataclass
+class Encounter(Resource):
+    """FHIR Encounter — an admission/visit (HL7 PV1 source)."""
+
+    status: str = "finished"
+    classCode: str = "ambulatory"   # ambulatory|inpatient|emergency
+    subject: Optional[str] = None
+    periodStart: Optional[str] = None
+    periodEnd: Optional[str] = None
+    location: Optional[str] = None
+
+    RESOURCE_TYPE = "Encounter"
+
+
+@dataclass
+class DiagnosticReport(Resource):
+    """FHIR DiagnosticReport — grouped results with a conclusion."""
+
+    status: str = "final"
+    code: Dict[str, Any] = field(default_factory=dict)
+    subject: Optional[str] = None
+    result: List[str] = field(default_factory=list)  # Observation refs
+    effectiveDateTime: Optional[str] = None
+    conclusion: Optional[str] = None
+
+    RESOURCE_TYPE = "DiagnosticReport"
+
+
+@dataclass
+class Consent(Resource):
+    """FHIR Consent — patient consent to a study/program (Group)."""
+
+    status: str = "active"
+    patient: Optional[str] = None      # "Patient/<id>"
+    scope: str = "research"
+    groupId: Optional[str] = None      # platform Group the consent covers
+    period: Dict[str, Any] = field(default_factory=dict)  # {"start":.., "end":..}
+
+    RESOURCE_TYPE = "Consent"
+
+
+_RESOURCE_TYPES: Dict[str, Type[Resource]] = {
+    cls.RESOURCE_TYPE: cls
+    for cls in (Patient, Practitioner, Observation, Condition,
+                MedicationRequest, Consent, Encounter, DiagnosticReport)
+}
+
+
+def resource_from_dict(data: Dict[str, Any]) -> Resource:
+    """Polymorphic deserialisation using the ``resourceType`` discriminator."""
+    rtype = data.get("resourceType")
+    cls = _RESOURCE_TYPES.get(rtype or "")
+    if cls is None:
+        raise ValidationError(f"unsupported resourceType {rtype!r}")
+    return cls.from_dict(data)
+
+
+@dataclass
+class Bundle:
+    """FHIR Bundle — the unit of upload for the ingestion service."""
+
+    id: str
+    type: str = "collection"
+    entries: List[Resource] = field(default_factory=list)
+
+    def add(self, resource: Resource) -> "Bundle":
+        self.entries.append(resource)
+        return self
+
+    def resources_of(self, cls: Type[T]) -> List[T]:
+        return [r for r in self.entries if isinstance(r, cls)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "resourceType": "Bundle",
+            "id": self.id,
+            "type": self.type,
+            "entry": [{"resource": r.to_dict()} for r in self.entries],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Bundle":
+        if data.get("resourceType") != "Bundle":
+            raise ValidationError("not a Bundle")
+        entries = [resource_from_dict(e["resource"])
+                   for e in data.get("entry", [])]
+        return cls(id=data.get("id", ""), type=data.get("type", "collection"),
+                   entries=entries)
+
+    @classmethod
+    def from_json(cls, raw: str) -> "Bundle":
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"bundle is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

@@ -1,0 +1,21 @@
+"""Intercloud secure gateway: trusted containers and workload transfer."""
+
+from .containers import (
+    AnalyticsContainer,
+    ContainerManifest,
+    TRUSTED_LIBRARIES,
+    TrustedAuthoringEnvironment,
+    verify_container,
+)
+from .transfer import CloudInstance, ExecutionReport, IntercloudGateway
+
+__all__ = [
+    "AnalyticsContainer",
+    "ContainerManifest",
+    "TRUSTED_LIBRARIES",
+    "TrustedAuthoringEnvironment",
+    "verify_container",
+    "CloudInstance",
+    "ExecutionReport",
+    "IntercloudGateway",
+]

@@ -1,0 +1,53 @@
+"""Data ingestion and export (Sections II-B, IV-B1).
+
+Staging + asynchronous pipeline (decrypt, validate, scan, consent,
+de-identify, store), the encrypted Data Lake with crypto-deletion, the
+malware filtration system, and the anonymized/full export service.
+"""
+
+from .datalake import DataLake, StoredRecord
+from .export import AnonymizedExport, ExportService, FullExport
+from .malware import DEFAULT_SIGNATURES, MalwareScanner, ScanResult
+from .pipeline import (
+    ClientRegistration,
+    IngestionJob,
+    IngestionService,
+    IngestionStatus,
+    STAGE_COSTS,
+    encrypt_bundle_for_upload,
+)
+from .replication import ReplicatedDataLake
+from .tiering import (
+    ANALYTICS_TIER,
+    CONFIDENTIAL_TIER,
+    DataClassification,
+    TieredStorageRouter,
+    TierPlacement,
+    TierPolicy,
+    classify_bundle,
+)
+
+__all__ = [
+    "DataLake",
+    "StoredRecord",
+    "AnonymizedExport",
+    "ExportService",
+    "FullExport",
+    "DEFAULT_SIGNATURES",
+    "MalwareScanner",
+    "ScanResult",
+    "ClientRegistration",
+    "IngestionJob",
+    "IngestionService",
+    "IngestionStatus",
+    "STAGE_COSTS",
+    "encrypt_bundle_for_upload",
+    "ReplicatedDataLake",
+    "ANALYTICS_TIER",
+    "CONFIDENTIAL_TIER",
+    "DataClassification",
+    "TieredStorageRouter",
+    "TierPlacement",
+    "TierPolicy",
+    "classify_bundle",
+]

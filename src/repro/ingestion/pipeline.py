@@ -1,0 +1,321 @@
+"""Asynchronous data ingestion pipeline (Sections II-B and IV-B1).
+
+The full flow the paper specifies:
+
+1. clients encrypt bundles "using a client's public certificate issued by
+   the platform" and upload to "a secure temporary storage area" (the
+   staging area); "a message is left in the platform's internal messaging
+   system for the background ingestion process";
+2. "the platform returns a status URL to the uploading client";
+3. the background process i) decrypts with the client's private key
+   (generated at registration, held in the key management system),
+   ii) validates the bundle, scans for malware, verifies consent,
+   iii) de-identifies and stores in the Data Lake with a reference-id,
+   keeping the identity mapping in protected metadata;
+4. every step lands a provenance event on the blockchain, and
+   malware/privacy verdicts go to their networks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..blockchain.network import BlockchainNetwork
+from ..cloudsim.clock import SimClock
+from ..cloudsim.monitoring import MonitoringService
+from ..core.errors import (
+    AuthenticationError,
+    IngestionError,
+    NotFoundError,
+)
+from ..crypto.rsa import (
+    HybridCiphertext,
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_keypair,
+    hybrid_decrypt,
+    hybrid_encrypt,
+)
+from ..fhir.resources import Bundle, Consent, Patient
+from ..fhir.validation import BundleValidator
+from ..privacy.consent import ConsentManagementService
+from ..privacy.deidentify import Deidentifier, ReidentificationMap
+from ..privacy.verification import AnonymizationVerificationService
+from .datalake import DataLake
+from .malware import MalwareScanner
+
+
+class IngestionStatus(Enum):
+    """States reported by a job's status URL."""
+
+    UPLOADED = "uploaded"
+    DECRYPTED = "decrypted"
+    VALIDATED = "validated"
+    SCANNED = "scanned"
+    CONSENTED = "consented"
+    DEIDENTIFIED = "deidentified"
+    STORED = "stored"
+    REJECTED = "rejected"
+
+
+# Simulated per-stage service times (seconds) for the E1 latency split.
+STAGE_COSTS = {
+    IngestionStatus.DECRYPTED: 4e-3,
+    IngestionStatus.VALIDATED: 2e-3,
+    IngestionStatus.SCANNED: 3e-3,
+    IngestionStatus.CONSENTED: 1e-3,
+    IngestionStatus.DEIDENTIFIED: 2e-3,
+    IngestionStatus.STORED: 5e-3,
+}
+
+
+@dataclass
+class IngestionJob:
+    """One staged upload working its way through the pipeline."""
+
+    job_id: str
+    client_id: str
+    group_id: str
+    envelope: HybridCiphertext
+    status: IngestionStatus = IngestionStatus.UPLOADED
+    reason: str = ""
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    stored_record_ids: List[str] = field(default_factory=list)
+    reference_bundle_id: str = ""
+
+    @property
+    def status_url(self) -> str:
+        return f"/ingestion/status/{self.job_id}"
+
+
+@dataclass(frozen=True)
+class ClientRegistration:
+    """Issued at registration: public certificate for upload encryption."""
+
+    client_id: str
+    public_key: RsaPublicKey
+
+
+class IngestionService:
+    """Staging area + background ingestion worker + status API."""
+
+    def __init__(self, datalake: DataLake,
+                 consent: ConsentManagementService,
+                 deidentifier: Deidentifier,
+                 validator: Optional[BundleValidator] = None,
+                 scanner: Optional[MalwareScanner] = None,
+                 verification: Optional[AnonymizationVerificationService] = None,
+                 blockchain: Optional[BlockchainNetwork] = None,
+                 monitoring: Optional[MonitoringService] = None,
+                 clock: Optional[SimClock] = None,
+                 key_seed: Optional[int] = None) -> None:
+        self.datalake = datalake
+        self.consent = consent
+        self.deidentifier = deidentifier
+        self.validator = validator if validator is not None else BundleValidator()
+        self.scanner = scanner if scanner is not None else MalwareScanner()
+        self.verification = (verification if verification is not None
+                             else AnonymizationVerificationService(
+                                 minimum_degree=0.0))
+        self.blockchain = blockchain
+        self.clock = clock if clock is not None else SimClock()
+        self.monitoring = (monitoring if monitoring is not None
+                           else MonitoringService(self.clock))
+        self._client_keys: Dict[str, RsaPrivateKey] = {}
+        self._jobs: Dict[str, IngestionJob] = {}
+        self._queue: List[str] = []
+        self._job_counter = 0
+        self._key_seed = key_seed
+        self.reidentification = ReidentificationMap()
+
+    # -- registration (Section II-B, "Registration Service") -------------------
+
+    def register_client(self, client_id: str) -> ClientRegistration:
+        """Issue a client its platform-held keypair's public certificate."""
+        if client_id in self._client_keys:
+            raise AuthenticationError(f"client {client_id} already registered")
+        seed = (None if self._key_seed is None
+                else self._key_seed * 191 + len(self._client_keys) + 1)
+        private = generate_keypair(bits=1024, seed=seed)
+        self._client_keys[client_id] = private
+        return ClientRegistration(client_id, private.public_key())
+
+    def public_key_of(self, client_id: str) -> RsaPublicKey:
+        try:
+            return self._client_keys[client_id].public_key()
+        except KeyError:
+            raise NotFoundError(f"client {client_id} not registered") from None
+
+    # -- upload (synchronous part) ------------------------------------------------
+
+    def upload(self, client_id: str, envelope: HybridCiphertext,
+               group_id: str) -> IngestionJob:
+        """Stage an encrypted bundle; returns the job with its status URL."""
+        if client_id not in self._client_keys:
+            raise AuthenticationError(f"client {client_id} not registered")
+        self._job_counter += 1
+        job = IngestionJob(
+            job_id=f"job-{self._job_counter:07d}",
+            client_id=client_id,
+            group_id=group_id,
+            envelope=envelope,
+        )
+        self._jobs[job.job_id] = job
+        self._queue.append(job.job_id)
+        self.monitoring.metrics.incr("ingestion.uploads")
+        return job
+
+    def status(self, job_id: str) -> Tuple[IngestionStatus, str]:
+        """What a GET on the status URL returns."""
+        job = self._job(job_id)
+        return job.status, job.reason
+
+    # -- background worker -----------------------------------------------------------
+
+    def process_pending(self, limit: Optional[int] = None) -> int:
+        """Run the background ingestion process over queued jobs."""
+        processed = 0
+        while self._queue and (limit is None or processed < limit):
+            job_id = self._queue.pop(0)
+            self._process(self._jobs[job_id])
+            processed += 1
+        return processed
+
+    def _advance(self, job: IngestionJob, status: IngestionStatus) -> None:
+        cost = STAGE_COSTS.get(status, 0.0)
+        self.clock.advance(cost)
+        job.status = status
+        job.stage_times[status.value] = self.clock.now
+
+    def _reject(self, job: IngestionJob, reason: str) -> None:
+        job.status = IngestionStatus.REJECTED
+        job.reason = reason
+        self.monitoring.metrics.incr("ingestion.rejected")
+        self.monitoring.log("ingestion", f"job {job.job_id} rejected: {reason}",
+                            level="WARN")
+
+    def _process(self, job: IngestionJob) -> None:
+        start = self.clock.now
+        # i) decrypt with the client's platform-held private key.
+        try:
+            plaintext = hybrid_decrypt(self._client_keys[job.client_id],
+                                       job.envelope)
+        except Exception as exc:
+            self._reject(job, f"decryption failed: {exc}")
+            return
+        self._advance(job, IngestionStatus.DECRYPTED)
+        data_hash = hashlib.sha256(plaintext).hexdigest()
+        self._provenance(job, data_hash, "received")
+
+        # malware filtration before parsing (content inspection).
+        scan = self.scanner.scan(plaintext)
+        if not scan.clean:
+            self._malware_report(job, scan)
+            if scan.action == "drop":
+                self._reject(job, "malware detected: "
+                             + ",".join(scan.matched_signatures))
+                return
+            plaintext = self.scanner.sanitize(plaintext)
+        self._advance(job, IngestionStatus.SCANNED)
+
+        # ii) validate the bundle.
+        try:
+            bundle = Bundle.from_json(plaintext.decode("utf-8"))
+        except Exception as exc:
+            self._reject(job, f"bundle parse failed: {exc}")
+            return
+        report = self.validator.validate(bundle)
+        if not report.valid:
+            self._reject(job, "validation failed: " + "; ".join(report.errors))
+            return
+        self._advance(job, IngestionStatus.VALIDATED)
+        self._provenance(job, data_hash, "validated")
+
+        # consent verification for every patient in the bundle.
+        patients = bundle.resources_of(Patient)
+        for patient in patients:
+            if not self.consent.has_consent(patient.id, job.group_id):
+                self._reject(job, f"no consent for patient {patient.id} "
+                             f"in group {job.group_id}")
+                return
+        self._advance(job, IngestionStatus.CONSENTED)
+
+        # iii) de-identify; verify the achieved anonymization degree.
+        clean_bundle, mapping = self.deidentifier.deidentify_bundle(bundle)
+        self.reidentification.entries.update(mapping.entries)
+        assessment = self.verification.assess_bundle(clean_bundle)
+        self._privacy_report(job, assessment.overall_degree,
+                             assessment.passed)
+        if not assessment.passed:
+            self._reject(job, "anonymization verification failed "
+                         f"(degree {assessment.overall_degree:.2f})")
+            return
+        self.verification.admit(clean_bundle)
+        self._advance(job, IngestionStatus.DEIDENTIFIED)
+        self._provenance(job, data_hash, "deidentified")
+
+        # store original + de-identified versions per patient.
+        clean_json = clean_bundle.to_json().encode()
+        for patient in patients:
+            reference = self.deidentifier.reference_id(patient.id)
+            original = self.datalake.store(
+                reference, plaintext, kind="original",
+                group_id=job.group_id,
+                metadata={"bundle": bundle.id, "job": job.job_id})
+            anonymized = self.datalake.store(
+                reference, clean_json, kind="anonymized",
+                group_id=job.group_id,
+                metadata={"bundle": clean_bundle.id, "job": job.job_id})
+            job.stored_record_ids.extend([original.record_id,
+                                          anonymized.record_id])
+        job.reference_bundle_id = clean_bundle.id
+        self._advance(job, IngestionStatus.STORED)
+        self._provenance(job, data_hash, "stored")
+        self.monitoring.metrics.incr("ingestion.stored")
+        self.monitoring.metrics.observe("ingestion.latency",
+                                        self.clock.now - start)
+
+    # -- blockchain hooks --------------------------------------------------------------
+
+    def _provenance(self, job: IngestionJob, data_hash: str,
+                    event: str) -> None:
+        if self.blockchain is None:
+            return
+        self.blockchain.submit(
+            "ingestion-service", "provenance", "record_event",
+            handle=job.job_id, data_hash=data_hash, event=event,
+            actor=job.client_id, metadata={"group": job.group_id})
+
+    def _malware_report(self, job: IngestionJob, scan) -> None:
+        if self.blockchain is None:
+            return
+        action = "dropped" if scan.action == "drop" else "sanitized"
+        self.blockchain.submit(
+            "ingestion-service", "malware", "report",
+            record_id=job.job_id, sender=job.client_id,
+            signature_name=",".join(scan.matched_signatures), action=action)
+
+    def _privacy_report(self, job: IngestionJob, degree: float,
+                        passed: bool) -> None:
+        if self.blockchain is None:
+            return
+        self.blockchain.submit(
+            "ingestion-service", "privacy", "record_level",
+            record_id=job.job_id, sender=job.client_id,
+            degree=round(degree, 4), passed=passed)
+
+    def _job(self, job_id: str) -> IngestionJob:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise NotFoundError(f"job {job_id} unknown") from None
+
+
+def encrypt_bundle_for_upload(bundle: Bundle,
+                              registration: ClientRegistration) -> HybridCiphertext:
+    """Client-side helper: serialize + hybrid-encrypt a bundle for upload."""
+    return hybrid_encrypt(registration.public_key, bundle.to_json().encode())

@@ -1,0 +1,79 @@
+"""Remote access and local caching of knowledge bases (Section III).
+
+"We cache data from these knowledge bases locally.  That way, data can be
+accessed and analyzed more quickly than if it needs to be fetched
+remotely.  For the most up-to-date data, the remote knowledge bases can be
+directly queried."
+
+:class:`RemoteKnowledgeBase` wraps any KB object, charging simulated WAN
+latency for every method call.  :class:`CachedKnowledgeBase` puts a local
+cache in front, keyed by (method, args), with an explicit ``refresh`` path
+for callers that need the most up-to-date values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from ..cloudsim.clock import SimClock, WAN_ROUND_TRIP
+from ..caching.policies import Cache, LruCache
+
+
+class RemoteKnowledgeBase:
+    """Proxy that charges network latency for each KB method call."""
+
+    def __init__(self, base: Any, clock: Optional[SimClock] = None,
+                 round_trip_s: float = WAN_ROUND_TRIP) -> None:
+        self._base = base
+        self.clock = clock if clock is not None else SimClock()
+        self.round_trip_s = round_trip_s
+        self.remote_calls = 0
+        self.name = getattr(base, "name", type(base).__name__)
+
+    def call(self, method: str, *args: Hashable) -> Any:
+        """Invoke a KB method remotely (clock advances by one round trip)."""
+        self.clock.advance(self.round_trip_s)
+        self.remote_calls += 1
+        return getattr(self._base, method)(*args)
+
+
+class CachedKnowledgeBase:
+    """Local cache in front of a remote KB.
+
+    Cache keys are (method, args); values are whatever the KB returned.
+    ``get`` serves from cache when possible; ``refresh`` always goes to the
+    remote (the paper's "most up-to-date" path) and re-fills the cache.
+    """
+
+    def __init__(self, remote: RemoteKnowledgeBase,
+                 cache: Optional[Cache] = None,
+                 local_access_s: float = 50e-6) -> None:
+        self._remote = remote
+        self._cache: Cache = cache if cache is not None else LruCache(4096)
+        self.local_access_s = local_access_s
+        self.clock = remote.clock
+
+    def get(self, method: str, *args: Hashable) -> Any:
+        """Cached lookup; falls through to the remote on a miss."""
+        key: Tuple = (method, args)
+        self.clock.advance(self.local_access_s)
+        value = self._cache.get(key)
+        if value is not None:
+            return value
+        value = self._remote.call(method, *args)
+        self._cache.put(key, value)
+        return value
+
+    def refresh(self, method: str, *args: Hashable) -> Any:
+        """Bypass the cache for the freshest value, then re-fill."""
+        value = self._remote.call(method, *args)
+        self._cache.put((method, args), value)
+        return value
+
+    @property
+    def hit_ratio(self) -> float:
+        return self._cache.stats.hit_ratio
+
+    @property
+    def remote_calls(self) -> int:
+        return self._remote.remote_calls

@@ -1,0 +1,43 @@
+"""Privacy: de-identification, k-anonymity, verification, consent (Section IV-C)."""
+
+from .consent import ConsentManagementService, ConsentRecord, ConsentStatus
+from .deidentify import (
+    Deidentifier,
+    ReidentificationMap,
+    phi_identifiers_present,
+)
+from .kanonymity import (
+    AnonymizedRelease,
+    MondrianAnonymizer,
+    QuasiIdentifier,
+    achieved_k,
+    equivalence_classes,
+    generalize_age,
+    generalize_zip,
+    l_diversity,
+    reidentification_risk,
+)
+from .verification import (
+    AnonymizationAssessment,
+    AnonymizationVerificationService,
+)
+
+__all__ = [
+    "ConsentManagementService",
+    "ConsentRecord",
+    "ConsentStatus",
+    "Deidentifier",
+    "ReidentificationMap",
+    "phi_identifiers_present",
+    "AnonymizedRelease",
+    "MondrianAnonymizer",
+    "QuasiIdentifier",
+    "achieved_k",
+    "equivalence_classes",
+    "generalize_age",
+    "generalize_zip",
+    "l_diversity",
+    "reidentification_risk",
+    "AnonymizationAssessment",
+    "AnonymizationVerificationService",
+]

@@ -1,0 +1,42 @@
+"""RBAC and federated identity (Section II-B, "Privacy Management").
+
+Tenant/Organization/Group/Environment/User/Role/Permission model, access
+decision engine with scope hierarchy, and external-IdP token federation.
+"""
+
+from .engine import AccessDecision, RbacEngine
+from .federation import (
+    ExternalIdentityProvider,
+    FederatedIdentityService,
+    IdentityToken,
+)
+from .model import (
+    Action,
+    Environment,
+    Group,
+    Organization,
+    Permission,
+    Role,
+    Scope,
+    ScopeKind,
+    Tenant,
+    User,
+)
+
+__all__ = [
+    "AccessDecision",
+    "RbacEngine",
+    "ExternalIdentityProvider",
+    "FederatedIdentityService",
+    "IdentityToken",
+    "Action",
+    "Environment",
+    "Group",
+    "Organization",
+    "Permission",
+    "Role",
+    "Scope",
+    "ScopeKind",
+    "Tenant",
+    "User",
+]

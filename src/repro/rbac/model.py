@@ -1,0 +1,138 @@
+"""RBAC entity model (Section II-B, "Privacy Management").
+
+"The platform supports Tenant, Organizations, Groups, Environments, Users,
+Roles, and Permissions."
+
+* **Tenant** — the namespace (an enterprise account) under which all other
+  entities are grouped; also the unit of metering/billing.
+* **Organization** — a department, owning shareable resources (services,
+  environments).
+* **Group** — a healthcare study/program to which PHI data is consented.
+* **Environment** — a development/deployment environment inside an
+  organization.
+* **User** — an individual registered under a tenant.
+* **Role** — a named set of permissions; users hold roles *per environment
+  within an organization*.
+* **Permission** — read or write access to a resource type, scoped to a
+  tenant, organization, or group.
+
+The model is motivated by Cloud Foundry's RBAC (paper footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+
+class Action(Enum):
+    """The two access kinds the paper's permission model defines."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class ScopeKind(Enum):
+    """What level of the hierarchy a permission is scoped to."""
+
+    TENANT = "tenant"
+    ORGANIZATION = "organization"
+    GROUP = "group"
+
+
+@dataclass(frozen=True)
+class Scope:
+    """A concrete scope: kind plus the id of the scoping entity."""
+
+    kind: ScopeKind
+    entity_id: str
+
+
+@dataclass(frozen=True)
+class Permission:
+    """Right to perform ``action`` on ``resource_type`` within ``scope``."""
+
+    action: Action
+    resource_type: str
+    scope: Scope
+
+
+@dataclass(frozen=True)
+class Role:
+    """A named bundle of permissions."""
+
+    name: str
+    permissions: FrozenSet[Permission]
+
+    def allows(self, action: Action, resource_type: str, scope: Scope) -> bool:
+        """Direct permission check, no hierarchy walk (the engine does that)."""
+        return Permission(action, resource_type, scope) in self.permissions
+
+
+@dataclass
+class Tenant:
+    """Enterprise-level account; namespace for everything below it."""
+
+    tenant_id: str
+    name: str
+    organization_ids: Set[str] = field(default_factory=set)
+    user_ids: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class Organization:
+    """Department-level grouping of shareable resources."""
+
+    org_id: str
+    tenant_id: str
+    name: str
+    environment_ids: Set[str] = field(default_factory=set)
+    shared_resources: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class Group:
+    """A healthcare study/program; PHI consent attaches at this level."""
+
+    group_id: str
+    tenant_id: str
+    name: str
+    member_user_ids: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class Environment:
+    """A development or deployment environment within an organization."""
+
+    env_id: str
+    org_id: str
+    name: str
+    kind: str = "development"  # "development" | "staging" | "production"
+
+
+@dataclass
+class User:
+    """An individual registered under a tenant.
+
+    ``role_bindings`` maps (org_id, env_id) -> set of role names, matching
+    the paper: "Users can have different roles in different environments
+    within an organization."
+    """
+
+    user_id: str
+    tenant_id: str
+    name: str
+    external_identity: Optional[str] = None  # federated subject, if any
+    role_bindings: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict)
+
+    def bind_role(self, org_id: str, env_id: str, role_name: str) -> None:
+        self.role_bindings.setdefault((org_id, env_id), set()).add(role_name)
+
+    def unbind_role(self, org_id: str, env_id: str, role_name: str) -> None:
+        roles = self.role_bindings.get((org_id, env_id))
+        if roles is not None:
+            roles.discard(role_name)
+
+    def roles_in(self, org_id: str, env_id: str) -> Set[str]:
+        return set(self.role_bindings.get((org_id, env_id), set()))

@@ -1,0 +1,15 @@
+"""External AI service registry, monitoring, and selection (Section III)."""
+
+from .registry import (
+    ServiceCallRecord,
+    ServiceRegistry,
+    ServiceScorecard,
+    SimulatedAiService,
+)
+
+__all__ = [
+    "ServiceCallRecord",
+    "ServiceRegistry",
+    "ServiceScorecard",
+    "SimulatedAiService",
+]

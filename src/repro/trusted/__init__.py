@@ -1,0 +1,58 @@
+"""Trusted infrastructure: TPM/vTPM, attestation, trust chain, signed images.
+
+Implements Section II-A and Fig. 5 of the paper: the hardware root of
+trust, its transitive extension to hypervisor, guest OS, and containers,
+and the services (Attestation, Image Management) that police it.
+"""
+
+from .attestation import AppraisalResult, AttestationService, TrustVerdict
+from .chain import (
+    HOST_PCRS,
+    TrustedBootOrchestrator,
+    TrustedHost,
+    VM_AND_CONTAINER_PCRS,
+    VM_PCRS,
+)
+from .images import ImageManagementService, SignedImage, sign_image
+from .tpm import (
+    MeasurementEvent,
+    PCR_BIOS,
+    PCR_CONTAINER,
+    PCR_CRTM,
+    PCR_HYPERVISOR,
+    PCR_VM_BIOS,
+    PCR_VM_IMAGE,
+    PCR_VM_KERNEL,
+    Quote,
+    Tpm,
+    verify_quote,
+)
+from .vtpm import VtpmChannel, VtpmInterfaceContainer, VtpmManager
+
+__all__ = [
+    "AppraisalResult",
+    "AttestationService",
+    "TrustVerdict",
+    "HOST_PCRS",
+    "VM_PCRS",
+    "VM_AND_CONTAINER_PCRS",
+    "TrustedBootOrchestrator",
+    "TrustedHost",
+    "ImageManagementService",
+    "SignedImage",
+    "sign_image",
+    "MeasurementEvent",
+    "Quote",
+    "Tpm",
+    "verify_quote",
+    "PCR_CRTM",
+    "PCR_BIOS",
+    "PCR_HYPERVISOR",
+    "PCR_VM_BIOS",
+    "PCR_VM_KERNEL",
+    "PCR_VM_IMAGE",
+    "PCR_CONTAINER",
+    "VtpmChannel",
+    "VtpmInterfaceContainer",
+    "VtpmManager",
+]

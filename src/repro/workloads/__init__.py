@@ -1,0 +1,21 @@
+"""Workload generators: synthetic EMR cohorts and cache access traces."""
+
+from .emr import EmrCohort, cohort_to_tabular, generate_emr_cohort
+from .traces import (
+    looping_trace,
+    mixed_read_write_trace,
+    shifting_trace,
+    zipf_trace,
+    zipf_with_scans_trace,
+)
+
+__all__ = [
+    "EmrCohort",
+    "cohort_to_tabular",
+    "generate_emr_cohort",
+    "looping_trace",
+    "mixed_read_write_trace",
+    "shifting_trace",
+    "zipf_trace",
+    "zipf_with_scans_trace",
+]

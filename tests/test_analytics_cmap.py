@@ -1,0 +1,85 @@
+"""Tests for the Connectivity-Map-style expression baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.cmap import ConnectivityMapScorer
+from repro.analytics.metrics import auc_roc
+from repro.core.errors import ConfigurationError
+
+
+class TestScorerMechanics:
+    def test_shape(self, universe):
+        scorer = ConnectivityMapScorer(universe.drug_expression,
+                                       universe.disease_expression)
+        scores = scorer.reversal_scores()
+        assert scores.shape == (len(universe.drugs), len(universe.diseases))
+
+    def test_perfect_reversal_scores_one(self):
+        rng = np.random.default_rng(0)
+        disease = rng.normal(size=(1, 30))
+        drug = -disease  # exact signature reversal
+        scorer = ConnectivityMapScorer(drug, disease)
+        assert scorer.reversal_scores()[0, 0] == pytest.approx(1.0)
+
+    def test_identical_signature_scores_minus_one(self):
+        rng = np.random.default_rng(1)
+        disease = rng.normal(size=(1, 30))
+        scorer = ConnectivityMapScorer(disease.copy(), disease)
+        assert scorer.reversal_scores()[0, 0] == pytest.approx(-1.0)
+
+    def test_mismatched_panels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConnectivityMapScorer(np.zeros((2, 10)), np.zeros((3, 12)))
+
+    def test_enrichment_bounds(self, universe):
+        scorer = ConnectivityMapScorer(universe.drug_expression,
+                                       universe.disease_expression)
+        scores = scorer.enrichment_scores(top_k=5)
+        assert scores.min() >= -1.0
+        assert scores.max() <= 1.0
+
+    def test_enrichment_k_validated(self, universe):
+        scorer = ConnectivityMapScorer(universe.drug_expression,
+                                       universe.disease_expression)
+        with pytest.raises(ConfigurationError):
+            scorer.enrichment_scores(top_k=0)
+
+
+class TestScorerSignal:
+    def test_reversal_predicts_true_associations(self, universe):
+        scorer = ConnectivityMapScorer(universe.drug_expression,
+                                       universe.disease_expression)
+        scores = scorer.reversal_scores()
+        labels = universe.association_matrix.ravel().astype(float)
+        assert auc_roc(labels, scores.ravel()) > 0.75
+
+    def test_enrichment_also_predictive(self, universe):
+        scorer = ConnectivityMapScorer(universe.drug_expression,
+                                       universe.disease_expression)
+        scores = scorer.enrichment_scores()
+        labels = universe.association_matrix.ravel().astype(float)
+        assert auc_roc(labels, scores.ravel()) > 0.7
+
+    def test_jmf_still_beats_cmap_on_heldout(self, universe,
+                                             drug_similarities,
+                                             disease_similarities):
+        """The paper's point: single-aspect methods are biased; JMF wins."""
+        from repro.analytics import (
+            JointMatrixFactorization,
+            evaluate_masked,
+            holdout_mask,
+        )
+        rng = np.random.default_rng(8)
+        training, heldout = holdout_mask(universe.association_matrix, 0.3,
+                                         rng)
+        jmf = JointMatrixFactorization(rank=10, alpha=0.5, seed=1,
+                                       max_iterations=120).fit(
+            training, drug_similarities, disease_similarities)
+        jmf_auc = evaluate_masked(universe.association_matrix, jmf.scores(),
+                                  heldout).auc
+        cmap = ConnectivityMapScorer(universe.drug_expression,
+                                     universe.disease_expression)
+        cmap_auc = evaluate_masked(universe.association_matrix,
+                                   cmap.reversal_scores(), heldout).auc
+        assert jmf_auc > cmap_auc

@@ -1,0 +1,133 @@
+"""Tests for DELT and the marginal SCCS baseline (experiment E9)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.delt import (
+    DeltModel,
+    MarginalSccs,
+    PatientSeries,
+    effect_recovery,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestPatientSeries:
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            PatientSeries("p", np.arange(3), np.arange(2), np.zeros((3, 2)))
+
+
+class TestDeltOnCohort:
+    @pytest.fixture(scope="class")
+    def fits(self, emr_cohort):
+        delt = DeltModel(n_drugs=emr_cohort.n_drugs, ridge=1.0)
+        marginal = MarginalSccs(emr_cohort.n_drugs)
+        return (delt.fit(emr_cohort.patients),
+                marginal.fit(emr_cohort.patients))
+
+    def test_delt_recovers_planted_effects(self, emr_cohort, fits):
+        delt_result, _ = fits
+        recovery = effect_recovery(delt_result.effects,
+                                   emr_cohort.true_effects, 0.8)
+        assert recovery["recall"] == 1.0
+        assert recovery["precision"] >= 0.8
+
+    def test_delt_beats_marginal_under_confounding(self, emr_cohort, fits):
+        delt_result, marginal_effects = fits
+        delt_score = effect_recovery(delt_result.effects,
+                                     emr_cohort.true_effects, 0.8)
+        marginal_score = effect_recovery(marginal_effects,
+                                         emr_cohort.true_effects, 0.8)
+        assert delt_score["f1"] > marginal_score["f1"]
+
+    def test_both_fine_without_confounders(self, clean_emr_cohort):
+        delt = DeltModel(n_drugs=clean_emr_cohort.n_drugs, ridge=1.0)
+        marginal = MarginalSccs(clean_emr_cohort.n_drugs)
+        delt_score = effect_recovery(delt.fit(clean_emr_cohort.patients).effects,
+                                     clean_emr_cohort.true_effects, 0.8)
+        marginal_score = effect_recovery(marginal.fit(clean_emr_cohort.patients),
+                                         clean_emr_cohort.true_effects, 0.8)
+        assert delt_score["f1"] >= 0.9
+        assert marginal_score["f1"] >= 0.8
+
+    def test_effect_estimates_correlate_with_truth(self, emr_cohort, fits):
+        delt_result, _ = fits
+        correlation = np.corrcoef(delt_result.effects,
+                                  emr_cohort.true_effects)[0, 1]
+        assert correlation > 0.95
+
+    def test_baselines_patient_specific(self, emr_cohort, fits):
+        delt_result, _ = fits
+        baselines = np.array(list(delt_result.baselines.values()))
+        assert baselines.std() > 0.3  # diverse HbA1c profiles preserved
+
+    def test_objective_decreases(self, emr_cohort, fits):
+        delt_result, _ = fits
+        history = delt_result.objective_history
+        assert history[-1] <= history[0]
+
+    def test_significant_drugs_query(self, emr_cohort, fits):
+        delt_result, _ = fits
+        lowering = set(np.nonzero(
+            emr_cohort.true_effects <= -0.8)[0].tolist())
+        detected = set(delt_result.significant_drugs(0.4))
+        assert lowering <= detected
+
+
+class TestDeltVariants:
+    def test_drift_disabled_hurts_under_confounding(self, emr_cohort):
+        with_drift = DeltModel(n_drugs=emr_cohort.n_drugs,
+                               use_time_drift=True).fit(emr_cohort.patients)
+        without_drift = DeltModel(n_drugs=emr_cohort.n_drugs,
+                                  use_time_drift=False).fit(emr_cohort.patients)
+        corr_with = np.corrcoef(with_drift.effects,
+                                emr_cohort.true_effects)[0, 1]
+        corr_without = np.corrcoef(without_drift.effects,
+                                   emr_cohort.true_effects)[0, 1]
+        assert corr_with >= corr_without
+
+    def test_network_regularization(self, emr_cohort):
+        rng = np.random.default_rng(5)
+        n = emr_cohort.n_drugs
+        similarity = np.abs(rng.normal(size=(n, n)))
+        similarity = (similarity + similarity.T) / 2
+        model = DeltModel(n_drugs=n, network_weight=0.5,
+                          drug_similarity=similarity)
+        result = model.fit(emr_cohort.patients)
+        assert result.effects.shape == (n,)
+
+    def test_network_weight_requires_similarity(self):
+        with pytest.raises(ConfigurationError):
+            DeltModel(n_drugs=4, network_weight=0.5)
+
+    def test_empty_patients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeltModel(n_drugs=4).fit([])
+
+    def test_exposure_width_checked(self, emr_cohort):
+        model = DeltModel(n_drugs=emr_cohort.n_drugs + 5)
+        with pytest.raises(ConfigurationError):
+            model.fit(emr_cohort.patients)
+
+
+class TestMarginalBaseline:
+    def test_unexposed_drugs_get_zero(self):
+        patients = [PatientSeries(
+            "p0", np.array([0.0, 10.0]), np.array([5.0, 5.1]),
+            np.zeros((2, 3)))]
+        effects = MarginalSccs(3).fit(patients)
+        assert np.allclose(effects, 0.0)
+
+    def test_single_drug_effect_detected(self):
+        rng = np.random.default_rng(0)
+        patients = []
+        for i in range(50):
+            times = np.sort(rng.uniform(0, 100, size=10))
+            exposures = np.zeros((10, 1))
+            exposures[5:, 0] = 1.0
+            values = 6.0 + exposures[:, 0] * (-1.0) + rng.normal(
+                scale=0.1, size=10)
+            patients.append(PatientSeries(f"p{i}", times, values, exposures))
+        effects = MarginalSccs(1).fit(patients)
+        assert effects[0] == pytest.approx(-1.0, abs=0.1)

@@ -1,0 +1,167 @@
+"""Tests for DDI prediction, gene-disease completion, and model lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.genedisease import GeneDiseasePredictor
+from repro.analytics.interactions import (
+    LogisticRegression,
+    TiresiasPredictor,
+)
+from repro.analytics.lifecycle import ModelRegistry, ModelStage
+from repro.analytics.metrics import auc_roc
+from repro.core.errors import (
+    ConfigurationError,
+    ModelLifecycleError,
+    NotFoundError,
+)
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        model = LogisticRegression(iterations=500).fit(X, y)
+        predictions = model.predict_proba(X)
+        assert auc_roc(y, predictions) > 0.95
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+
+class TestTiresias:
+    @pytest.fixture(scope="class")
+    def ddi_world(self, universe, drug_similarities):
+        """Known interactions derived from latent similarity (planted)."""
+        latents = universe.drug_latents
+        norms = np.linalg.norm(latents, axis=1, keepdims=True)
+        similarity = (latents / norms) @ (latents / norms).T
+        n = len(universe.drugs)
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)
+                 if similarity[i, j] > 0.65]
+        rng = np.random.default_rng(4)
+        rng.shuffle(pairs)
+        split = max(1, len(pairs) // 2)
+        return pairs[:split], pairs[split:], n
+
+    def test_scores_known_pairs_higher(self, ddi_world, drug_similarities):
+        train_pairs, test_pairs, n_drugs = ddi_world
+        if len(test_pairs) < 3:
+            pytest.skip("not enough planted interactions in this universe")
+        predictor = TiresiasPredictor(drug_similarities, seed=1)
+        predictor.fit(train_pairs, n_drugs)
+        rng = np.random.default_rng(9)
+        known = set(map(tuple, train_pairs)) | set(map(tuple, test_pairs))
+        negatives = []
+        while len(negatives) < len(test_pairs):
+            a, b = sorted(rng.integers(n_drugs, size=2).tolist())
+            if a != b and (a, b) not in known:
+                negatives.append((a, b))
+        positive_scores = predictor.score_pairs(test_pairs)
+        negative_scores = predictor.score_pairs(negatives)
+        labels = np.concatenate([np.ones(len(test_pairs)),
+                                 np.zeros(len(negatives))])
+        scores = np.concatenate([positive_scores, negative_scores])
+        assert auc_roc(labels, scores) > 0.6
+
+    def test_unfitted_rejected(self, drug_similarities):
+        with pytest.raises(ConfigurationError):
+            TiresiasPredictor(drug_similarities).score((0, 1))
+
+
+class TestGeneDisease:
+    def test_completion_recovers_heldout(self, universe):
+        truth = universe.gene_disease_matrix.astype(float)
+        rng = np.random.default_rng(3)
+        mask = rng.random(truth.shape) < 0.8  # observe 80%
+        observed = truth * mask
+        result = GeneDiseasePredictor(rank=10, seed=1).fit(observed, mask)
+        heldout = ~mask
+        labels = truth[heldout]
+        scores = result.scores()[heldout]
+        assert auc_roc(labels, scores) > 0.7
+
+    def test_top_novel_excludes_training(self, universe):
+        truth = universe.gene_disease_matrix.astype(float)
+        result = GeneDiseasePredictor(rank=8, seed=1,
+                                      max_iterations=50).fit(truth)
+        for gene, disease, _ in result.top_novel(truth, k=10):
+            assert truth[gene, disease] == 0
+
+    def test_mask_shape_checked(self):
+        predictor = GeneDiseasePredictor(rank=4)
+        with pytest.raises(ConfigurationError):
+            predictor.fit(np.zeros((4, 4)), np.zeros((3, 3), dtype=bool))
+
+
+class TestModelLifecycle:
+    def test_full_happy_path(self):
+        registry = ModelRegistry()
+        registry.start("jmf", acceptance={"auc": 0.7})
+        registry.mark_generated("jmf", artifact=object())
+        registry.record_test("jmf", {"auc": 0.85})
+        record = registry.deploy("jmf")
+        assert record.stage is ModelStage.DEPLOYED
+        assert record.approved_for_clients
+
+    def test_deploy_blocked_by_acceptance(self):
+        registry = ModelRegistry()
+        registry.start("jmf", acceptance={"auc": 0.9})
+        registry.mark_generated("jmf", artifact=object())
+        registry.record_test("jmf", {"auc": 0.85})
+        with pytest.raises(ModelLifecycleError):
+            registry.deploy("jmf")
+
+    def test_deploy_blocked_by_missing_metric(self):
+        registry = ModelRegistry()
+        registry.start("jmf", acceptance={"auc": 0.5})
+        registry.mark_generated("jmf", artifact=object())
+        registry.record_test("jmf", {"aupr": 0.9})
+        with pytest.raises(ModelLifecycleError):
+            registry.deploy("jmf")
+
+    def test_cannot_skip_stages(self):
+        registry = ModelRegistry()
+        registry.start("jmf")
+        with pytest.raises(ModelLifecycleError):
+            registry.record_test("jmf", {"auc": 1.0})
+        with pytest.raises(ModelLifecycleError):
+            registry.deploy("jmf")
+
+    def test_update_creates_new_version(self):
+        registry = ModelRegistry()
+        registry.start("jmf", acceptance={"auc": 0.5})
+        registry.mark_generated("jmf", artifact="v1")
+        registry.record_test("jmf", {"auc": 0.8})
+        registry.deploy("jmf")
+        new = registry.update("jmf")
+        assert new.version == 2
+        assert new.stage is ModelStage.DATA_CLEANING
+        assert registry.version("jmf", 1).stage is ModelStage.RETIRED
+        assert new.acceptance == {"auc": 0.5}  # inherited
+
+    def test_retest_after_failure(self):
+        registry = ModelRegistry()
+        registry.start("jmf")
+        registry.mark_generated("jmf", artifact="v1")
+        registry.record_test("jmf", {"auc": 0.4})
+        # tested -> generated (rework) -> tested again is legal
+        record = registry.latest("jmf")
+        registry._transition(record, ModelStage.GENERATED)
+        registry.record_test("jmf", {"auc": 0.9})
+        assert record.test_metrics == {"auc": 0.9}
+
+    def test_deployed_models_listing(self):
+        registry = ModelRegistry()
+        registry.start("a")
+        registry.mark_generated("a", artifact=1)
+        registry.record_test("a", {})
+        registry.deploy("a")
+        registry.start("b")
+        assert [r.name for r in registry.deployed_models()] == ["a"]
+
+    def test_unknown_model(self):
+        with pytest.raises(NotFoundError):
+            ModelRegistry().latest("ghost")

@@ -1,0 +1,149 @@
+"""Tests for similarity measures and evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.metrics import (
+    auc_roc,
+    average_precision,
+    evaluate_masked,
+    holdout_mask,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.analytics.similarity import (
+    cosine,
+    gaussian_similarity,
+    jaccard,
+    ontology_path_similarity,
+    similarity_quality,
+    tanimoto,
+)
+
+
+class TestSimilarityMeasures:
+    def test_tanimoto_identical(self):
+        a = np.array([1, 0, 1, 1])
+        assert tanimoto(a, a) == 1.0
+
+    def test_tanimoto_disjoint(self):
+        assert tanimoto(np.array([1, 1, 0, 0]), np.array([0, 0, 1, 1])) == 0.0
+
+    def test_tanimoto_partial(self):
+        a = np.array([1, 1, 0])
+        b = np.array([1, 0, 1])
+        assert tanimoto(a, b) == pytest.approx(1 / 3)
+
+    def test_tanimoto_empty(self):
+        z = np.zeros(4)
+        assert tanimoto(z, z) == 0.0
+
+    def test_jaccard(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard(set(), set()) == 0.0
+        assert jaccard({1}, {1}) == 1.0
+
+    def test_cosine(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([1.0, 0.0])) == 1.0
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+        assert cosine(np.zeros(2), np.ones(2)) == 0.0
+
+    def test_gaussian_bounds(self):
+        a = np.random.default_rng(0).normal(size=16)
+        b = np.random.default_rng(1).normal(size=16)
+        s = gaussian_similarity(a, b)
+        assert 0.0 < s < 1.0
+        assert gaussian_similarity(a, a) == 1.0
+
+    def test_ontology_similarity(self):
+        assert ontology_path_similarity(("a", "b", "c"), ("a", "b", "c")) == 1.0
+        assert ontology_path_similarity(("a", "b", "c"), ("a", "b", "x")) == \
+            pytest.approx(2 / 3)
+        assert ontology_path_similarity(("a",), ()) == 0.0
+
+    def test_builders_produce_symmetric_unit_diagonal(self, drug_similarities):
+        for name, matrix in drug_similarities.items():
+            assert np.allclose(matrix, matrix.T), name
+            assert np.allclose(np.diag(matrix), 1.0), name
+            assert (matrix >= 0).all(), name
+
+    def test_disease_builders(self, disease_similarities):
+        for name, matrix in disease_similarities.items():
+            assert np.allclose(matrix, matrix.T), name
+            assert (matrix >= -1e-9).all(), name
+
+    def test_informative_sources_rank_higher(self, universe,
+                                             drug_similarities):
+        qualities = {name: similarity_quality(S, universe.drug_latents)
+                     for name, S in drug_similarities.items()}
+        # chemical was generated with the least noise.
+        assert qualities["chemical"] == max(qualities.values())
+
+
+class TestMetrics:
+    def test_auc_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_roc(labels, scores) == 1.0
+
+    def test_auc_inverted(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_roc(labels, scores) == 0.0
+
+    def test_auc_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert abs(auc_roc(labels, scores) - 0.5) < 0.05
+
+    def test_auc_ties(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc_roc(labels, scores) == pytest.approx(0.5)
+
+    def test_auc_degenerate(self):
+        assert np.isnan(auc_roc(np.array([1, 1]), np.array([0.1, 0.2])))
+
+    def test_average_precision_perfect(self):
+        labels = np.array([0, 1, 1])
+        scores = np.array([0.1, 0.9, 0.8])
+        assert average_precision(labels, scores) == 1.0
+
+    def test_precision_at_k(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        assert precision_at_k(labels, scores, 2) == 0.5
+        assert precision_at_k(labels, scores, 3) == pytest.approx(2 / 3)
+
+    def test_recall_at_k(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        assert recall_at_k(labels, scores, 3) == 1.0
+        assert recall_at_k(labels, scores, 1) == 0.5
+
+
+class TestHoldout:
+    def test_holdout_removes_positives(self, universe):
+        rng = np.random.default_rng(1)
+        truth = universe.association_matrix
+        training, mask = holdout_mask(truth, 0.2, rng)
+        removed = int(truth.sum() - training.sum())
+        assert removed == max(1, int(truth.sum() * 0.2))
+        # Every removed positive is in the mask.
+        assert (mask & (truth == 1) & (training == 0)).sum() == removed
+
+    def test_mask_contains_negatives(self, universe):
+        rng = np.random.default_rng(1)
+        truth = universe.association_matrix
+        _, mask = holdout_mask(truth, 0.2, rng)
+        assert (mask & (truth == 0)).sum() > 0
+
+    def test_evaluate_masked_shape(self, universe):
+        rng = np.random.default_rng(2)
+        truth = universe.association_matrix
+        training, mask = holdout_mask(truth, 0.2, rng)
+        scores = rng.random(truth.shape)
+        evaluation = evaluate_masked(truth, scores, mask)
+        assert 0.0 <= evaluation.auc <= 1.0
+        assert evaluation.held_out_positives > 0

@@ -1,0 +1,241 @@
+"""Tests for the permissioned network: endorsement, ordering, commit."""
+
+import pytest
+
+from repro.blockchain import standard_network
+from repro.blockchain.identity import MembershipServiceProvider
+from repro.blockchain.chaincode import ProvenanceContract
+from repro.blockchain.network import (
+    BlockchainNetwork,
+    EndorsementPolicy,
+    OrderingService,
+    Peer,
+)
+from repro.core.errors import EndorsementError, LedgerError
+
+
+@pytest.fixture(scope="module")
+def network():
+    net = standard_network(seed=2, batch_size=4)
+    return net
+
+
+class TestEndorsementPolicy:
+    def test_satisfied(self):
+        policy = EndorsementPolicy(2, 2)
+        assert policy.satisfied_by(["org-a", "org-b"])
+
+    def test_insufficient_count(self):
+        assert not EndorsementPolicy(3, 2).satisfied_by(["a", "b"])
+
+    def test_insufficient_orgs(self):
+        assert not EndorsementPolicy(2, 2).satisfied_by(["a", "a"])
+
+
+class TestTransactionFlow:
+    def test_submit_gathers_endorsements(self, network):
+        tx = network.submit("ingestion-service", "provenance",
+                            "record_event", handle="flow-1",
+                            data_hash="aa" * 32, event="received",
+                            actor="client")
+        assert len(tx.endorsements) == 4  # all four org peers endorse
+
+    def test_flush_commits_to_all_peers(self, network):
+        network.submit("ingestion-service", "provenance", "record_event",
+                       handle="flow-2", data_hash="bb" * 32,
+                       event="received", actor="client")
+        network.flush()
+        assert network.peers_converged()
+        history = network.query("provenance", "get_history", handle="flow-2")
+        assert len(history) == 1
+
+    def test_batching(self):
+        net = standard_network(seed=3, batch_size=3)
+        for i in range(7):
+            net.submit("ingestion-service", "provenance", "record_event",
+                       handle=f"b{i}", data_hash="cc" * 32,
+                       event="received", actor="c")
+        blocks = net.flush()
+        # 7 transactions at batch size 3 -> blocks of 3, 3, 1.
+        assert [len(b.transactions) for b in blocks] == [3, 3, 1]
+
+    def test_unknown_chaincode_method_fails_endorsement(self):
+        net = standard_network(seed=4)
+        with pytest.raises(EndorsementError):
+            net.submit("ingestion-service", "provenance", "nonexistent",
+                       foo=1)
+
+    def test_strict_policy_unmet(self):
+        msp = MembershipServiceProvider(seed=5)
+        net = BlockchainNetwork(msp, policy=EndorsementPolicy(3, 3))
+        contracts = {"provenance": ProvenanceContract()}
+        msp.enroll("peer.only", "solo-org", roles={"peer"})
+        net.add_peer(Peer("peer.only", "solo-org", msp, contracts))
+        msp.enroll("client", "solo-org")
+        with pytest.raises(EndorsementError):
+            net.submit("client", "provenance", "record_event", handle="h",
+                       data_hash="aa" * 32, event="received", actor="c")
+
+    def test_ledgers_identical_across_peers(self, network):
+        network.invoke("ingestion-service", "provenance", "record_event",
+                       handle="conv", data_hash="dd" * 32, event="received",
+                       actor="c")
+        tips = {p.ledger.tip_hash for p in network.peers}
+        assert len(tips) == 1
+
+    def test_endorsement_simulation_does_not_mutate_state(self, network):
+        before = network.peers[0].state.snapshot_hash()
+        network.submit("ingestion-service", "provenance", "record_event",
+                       handle="sim-only", data_hash="ee" * 32,
+                       event="received", actor="c")
+        # Not flushed yet: endorsement simulation must not have written.
+        assert network.peers[0].state.snapshot_hash() == before
+        network.flush()
+        assert network.peers[0].state.snapshot_hash() != before
+
+    def test_forged_endorsement_not_applied(self):
+        net = standard_network(seed=6, batch_size=1)
+        tx = net.submit("ingestion-service", "provenance", "record_event",
+                        handle="forge", data_hash="aa" * 32,
+                        event="received", actor="c")
+        # Replace all endorsement signatures with junk before ordering.
+        forged = tx.with_endorsements(
+            [(peer_id, b"\x00" * len(sig))
+             for peer_id, sig in tx.endorsements])
+        net.orderer._pending[-1] = forged
+        net.flush()
+        history = net.query("provenance", "get_history", handle="forge")
+        assert history == []  # validation dropped the forged transaction
+
+
+class TestEndorserFailure:
+    def test_one_failing_endorser_tolerated(self):
+        """A crashing endorser just doesn't sign; policy still satisfiable."""
+        from repro.blockchain.chaincode import Chaincode
+
+        class BrokenContract(Chaincode):
+            NAME = "provenance"
+
+            def invoke(self, state, method, args):
+                raise RuntimeError("endorser crashed")
+
+        msp = MembershipServiceProvider(seed=21)
+        net = BlockchainNetwork(msp, policy=EndorsementPolicy(2, 2),
+                                batch_size=1)
+        good = {"provenance": ProvenanceContract()}
+        for org in ("org-a", "org-b", "org-c"):
+            msp.enroll(f"peer.{org}", org, roles={"peer"})
+        net.add_peer(Peer("peer.org-a", "org-a", msp, good))
+        net.add_peer(Peer("peer.org-b", "org-b", msp,
+                          {"provenance": BrokenContract()}))
+        net.add_peer(Peer("peer.org-c", "org-c", msp, good))
+        msp.enroll("client", "org-a")
+        tx = net.submit("client", "provenance", "record_event",
+                        handle="h", data_hash="aa" * 32, event="received",
+                        actor="c")
+        # Only the two healthy orgs endorsed.
+        assert len(tx.endorsements) == 2
+        net.flush()
+        assert net.peers[0].query("provenance", "get_history",
+                                  handle="h")
+
+    def test_too_many_failures_block_policy(self):
+        from repro.blockchain.chaincode import Chaincode
+
+        class BrokenContract(Chaincode):
+            NAME = "provenance"
+
+            def invoke(self, state, method, args):
+                raise RuntimeError("down")
+
+        msp = MembershipServiceProvider(seed=22)
+        net = BlockchainNetwork(msp, policy=EndorsementPolicy(2, 2))
+        msp.enroll("peer.org-a", "org-a", roles={"peer"})
+        msp.enroll("peer.org-b", "org-b", roles={"peer"})
+        net.add_peer(Peer("peer.org-a", "org-a", msp,
+                          {"provenance": ProvenanceContract()}))
+        net.add_peer(Peer("peer.org-b", "org-b", msp,
+                          {"provenance": BrokenContract()}))
+        msp.enroll("client", "org-a")
+        with pytest.raises(EndorsementError):
+            net.submit("client", "provenance", "record_event",
+                       handle="h", data_hash="aa" * 32, event="received",
+                       actor="c")
+
+
+class TestPeerSync:
+    def test_late_joining_peer_catches_up(self):
+        net = standard_network(seed=11, batch_size=5)
+        for i in range(12):
+            net.submit("ingestion-service", "provenance", "record_event",
+                       handle=f"s{i}", data_hash="aa" * 32,
+                       event="received", actor="c")
+        net.flush()
+        # A fresh peer from a new org joins after the fact.
+        contracts = {"provenance": ProvenanceContract()}
+        net.msp.enroll("peer.late-org", "late-org", roles={"peer"})
+        late = Peer("peer.late-org", "late-org", net.msp, contracts)
+        applied = late.sync_from(net.peers[0], net.policy)
+        assert applied == net.peers[0].ledger.height
+        assert late.ledger.tip_hash == net.peers[0].ledger.tip_hash
+        assert late.query("provenance", "get_history", handle="s3")
+
+    def test_sync_validates_blocks(self):
+        import dataclasses
+        net = standard_network(seed=12, batch_size=2)
+        for i in range(4):
+            net.submit("ingestion-service", "provenance", "record_event",
+                       handle=f"v{i}", data_hash="bb" * 32,
+                       event="received", actor="c")
+        net.flush()
+        source = net.peers[0]
+        # Tamper with the source's chain; a syncing peer must reject it.
+        block = source.ledger.block(0)
+        forged_tx = dataclasses.replace(block.transactions[0],
+                                        args={"handle": "FORGED"})
+        source.ledger._blocks[0] = dataclasses.replace(
+            block, transactions=(forged_tx,) + block.transactions[1:])
+        contracts = {"provenance": ProvenanceContract()}
+        net.msp.enroll("peer.sync-org", "sync-org", roles={"peer"})
+        fresh = Peer("peer.sync-org", "sync-org", net.msp, contracts)
+        with pytest.raises(LedgerError):
+            fresh.sync_from(source, net.policy)
+
+    def test_partial_sync_resumes(self):
+        net = standard_network(seed=13, batch_size=2)
+        for i in range(4):
+            net.submit("ingestion-service", "provenance", "record_event",
+                       handle=f"p{i}", data_hash="cc" * 32,
+                       event="received", actor="c")
+        net.flush()
+        contracts = {"provenance": ProvenanceContract()}
+        net.msp.enroll("peer.resume-org", "resume-org", roles={"peer"})
+        fresh = Peer("peer.resume-org", "resume-org", net.msp, contracts)
+        fresh.sync_from(net.peers[0], net.policy)
+        # More activity, then a second incremental sync.
+        net.submit("ingestion-service", "provenance", "record_event",
+                   handle="p-new", data_hash="dd" * 32, event="received",
+                   actor="c")
+        net.flush()
+        applied = fresh.sync_from(net.peers[0], net.policy)
+        assert applied == 1
+        assert fresh.ledger.tip_hash == net.peers[0].ledger.tip_hash
+
+
+class TestOrderingService:
+    def test_no_block_until_batch_full(self):
+        orderer = OrderingService(batch_size=3)
+        from repro.blockchain.ledger import GENESIS_HASH, Transaction
+        orderer.submit(Transaction("t1", "cc", "m", {}, "s", 0.0))
+        assert orderer.cut_block(0, GENESIS_HASH) is None
+        assert orderer.cut_block(0, GENESIS_HASH, force=True) is not None
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(LedgerError):
+            OrderingService(batch_size=0)
+
+    def test_query_without_peers(self):
+        msp = MembershipServiceProvider(seed=7)
+        net = BlockchainNetwork(msp)
+        with pytest.raises(LedgerError):
+            net.query("provenance", "get_history", handle="x")

@@ -1,0 +1,134 @@
+"""Tests for the cache consistency protocols."""
+
+import pytest
+
+from repro.caching.consistency import (
+    ConsistencyHarness,
+    ConsistentCache,
+    VersionedStore,
+)
+from repro.cloudsim.clock import SimClock
+from repro.core.errors import CacheConsistencyError, ConfigurationError
+
+
+class TestInvalidationProtocol:
+    def test_no_stale_reads_ever(self):
+        harness = ConsistencyHarness("invalidate", num_caches=3)
+        harness.write("k", 1)
+        assert harness.read(0, "k") == 1
+        harness.write("k", 2)
+        assert harness.read(0, "k") == 2
+        report = harness.report()
+        assert report.stale_reads == 0
+
+    def test_invalidations_fan_out(self):
+        harness = ConsistencyHarness("invalidate", num_caches=4)
+        harness.write("k", 1)
+        for i in range(4):
+            harness.read(i, "k")
+        harness.write("k", 2)
+        report = harness.report()
+        assert report.invalidations_sent == 8  # 4 caches x 2 writes
+
+
+class TestTtlProtocol:
+    def test_stale_within_ttl(self):
+        harness = ConsistencyHarness("ttl", ttl_s=10.0)
+        harness.write("k", 1)
+        harness.read(0, "k")
+        harness.write("k", 2)
+        # Within the TTL the cache serves the old value.
+        assert harness.read(0, "k") == 1
+        assert harness.report().stale_reads == 1
+
+    def test_fresh_after_ttl(self):
+        harness = ConsistencyHarness("ttl", ttl_s=10.0)
+        harness.write("k", 1)
+        harness.read(0, "k")
+        harness.write("k", 2)
+        harness.advance(11.0)
+        assert harness.read(0, "k") == 2
+
+    def test_no_protocol_messages(self):
+        harness = ConsistencyHarness("ttl", ttl_s=10.0)
+        harness.write("k", 1)
+        for _ in range(5):
+            harness.read(0, "k")
+        harness.write("k", 2)
+        assert harness.report().protocol_messages == 0
+
+
+class TestLeaseProtocol:
+    def test_revalidates_after_lease(self):
+        harness = ConsistencyHarness("lease", lease_s=5.0)
+        harness.write("k", 1)
+        harness.read(0, "k")
+        harness.write("k", 2)
+        harness.advance(6.0)
+        assert harness.read(0, "k") == 2
+        assert harness.report().version_checks >= 1
+
+    def test_lease_renewed_when_unchanged(self):
+        harness = ConsistencyHarness("lease", lease_s=5.0)
+        harness.write("k", 1)
+        harness.read(0, "k")
+        harness.advance(6.0)
+        harness.read(0, "k")  # version check, renewal, no refetch
+        report = harness.report()
+        assert report.origin_fetches == 1
+        assert report.version_checks == 1
+
+    def test_cheaper_than_refetching(self):
+        # Lease: many reads of unchanged data cost version checks, not
+        # full fetches.
+        harness = ConsistencyHarness("lease", lease_s=1.0)
+        harness.write("k", 1)
+        for _ in range(10):
+            harness.read(0, "k")
+            harness.advance(2.0)
+        report = harness.report()
+        assert report.origin_fetches == 1
+        assert report.version_checks == 9
+
+
+class TestProtocolComparison:
+    def test_ttl_trades_staleness_for_messages(self):
+        def run(protocol):
+            harness = ConsistencyHarness(protocol, num_caches=2, ttl_s=50.0,
+                                         lease_s=50.0)
+            harness.write("k", 0)
+            for i in range(20):
+                harness.read(i % 2, "k")
+                if i % 4 == 3:
+                    harness.write("k", i)
+                harness.advance(1.0)
+            return harness.report()
+
+        ttl = run("ttl")
+        invalidate = run("invalidate")
+        assert ttl.stale_reads > invalidate.stale_reads
+        assert ttl.protocol_messages < invalidate.protocol_messages
+
+
+class TestEdgeCases:
+    def test_unknown_protocol(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentCache("c", VersionedStore(), "gossip")
+
+    def test_missing_key(self):
+        store = VersionedStore()
+        cache = ConsistentCache("c", store, "ttl")
+        with pytest.raises(CacheConsistencyError):
+            cache.get("missing")
+
+    def test_capacity_eviction(self):
+        store = VersionedStore()
+        clock = SimClock()
+        cache = ConsistentCache("c", store, "invalidate", capacity=2,
+                                clock=clock)
+        for i in range(3):
+            store.write(f"k{i}", i)
+        for i in range(3):
+            cache.get(f"k{i}")
+            clock.advance(1.0)
+        assert len(cache._entries) == 2

@@ -1,0 +1,161 @@
+"""Tests for cache eviction policies."""
+
+import pytest
+
+from repro.caching.policies import (
+    LfuCache,
+    LruCache,
+    TtlCache,
+    TwoQueueCache,
+    make_cache,
+)
+from repro.cloudsim.clock import SimClock
+from repro.core.errors import ConfigurationError
+
+
+class TestLru:
+    def test_hit_miss_accounting(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_evicts_least_recent(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")           # refresh a
+        cache.put("c", 3)        # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.stats.evictions == 1
+
+    def test_update_refreshes(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)        # evicts b, not a
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_invalidate(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.get("a") is None
+        assert cache.stats.invalidations == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            LruCache(0)
+
+
+class TestLfu:
+    def test_evicts_least_frequent(self):
+        cache = LfuCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        for _ in range(5):
+            cache.get("a")
+        cache.put("c", 3)        # b (freq 1) evicted, a (freq 6) kept
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_tie_broken_by_recency(self):
+        cache = LfuCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)        # a and b tied at freq 1; a older -> evicted
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_remove_cleans_metadata(self):
+        cache = LfuCache(2)
+        cache.put("a", 1)
+        cache.invalidate("a")
+        assert len(cache) == 0
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+
+
+class TestTwoQueue:
+    def test_one_hit_wonders_do_not_pollute_main(self):
+        cache = TwoQueueCache(8, probation_fraction=0.25)
+        cache.put("hot", 1)
+        cache.get("hot")         # promoted to main
+        for i in range(20):      # a scan of one-hit wonders
+            cache.put(f"scan-{i}", i)
+        assert cache.get("hot") == 1
+
+    def test_second_touch_promotes(self):
+        cache = TwoQueueCache(8)
+        cache.put("a", 1)
+        assert cache.get("a") == 1      # promotion
+        assert "a" in cache._main
+
+    def test_len_counts_both_queues(self):
+        cache = TwoQueueCache(8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert len(cache) == 2
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TwoQueueCache(8, probation_fraction=1.5)
+
+
+class TestTtl:
+    def test_expires_after_ttl(self):
+        clock = SimClock()
+        cache = TtlCache(4, ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        clock.advance(11.0)
+        assert cache.get("a") is None
+        assert cache.stats.expirations == 1
+
+    def test_fresh_within_ttl(self):
+        clock = SimClock()
+        cache = TtlCache(4, ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.0)
+        assert cache.get("a") == 1
+
+    def test_rewrite_resets_ttl(self):
+        clock = SimClock()
+        cache = TtlCache(4, ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.0)
+        cache.put("a", 2)
+        clock.advance(9.0)
+        assert cache.get("a") == 2
+
+    def test_capacity_still_bounds(self):
+        cache = TtlCache(2, ttl_s=100.0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.stats.evictions == 1
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ConfigurationError):
+            TtlCache(2, ttl_s=0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("policy,cls", [
+        ("lru", LruCache), ("lfu", LfuCache), ("2q", TwoQueueCache),
+        ("ttl", TtlCache),
+    ])
+    def test_make_cache(self, policy, cls):
+        assert isinstance(make_cache(policy, 16), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_cache("arc", 16)

@@ -1,0 +1,116 @@
+"""Tests for the logging/monitoring service: scrubbing, chaining, metrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.cloudsim.clock import SimClock
+from repro.cloudsim.monitoring import (
+    LogStore,
+    MetricsRegistry,
+    MonitoringService,
+    scrub,
+)
+from repro.core.errors import IntegrityError
+
+
+class TestScrubbing:
+    def test_ssn_redacted(self):
+        assert "123-45-6789" not in scrub("patient ssn 123-45-6789 seen")
+
+    def test_email_redacted(self):
+        assert "a@b.com" not in scrub("contact a@b.com now")
+
+    def test_card_number_redacted(self):
+        assert "4111111111111111" not in scrub("card 4111111111111111")
+
+    def test_clean_text_untouched(self):
+        text = "job-000001 stored 3 records"
+        assert scrub(text) == text
+
+    def test_attributes_scrubbed_on_append(self):
+        store = LogStore()
+        entry = store.append("ingest", "ok", contact="reach me at a@b.com")
+        assert "a@b.com" not in entry.attributes["contact"]
+
+
+class TestLogChain:
+    def test_chain_verifies(self):
+        store = LogStore()
+        for i in range(5):
+            store.append("s", f"message {i}")
+        assert store.verify_chain()
+
+    def test_tampered_message_detected(self):
+        store = LogStore()
+        store.append("s", "original")
+        entry = store._entries[0]
+        store._entries[0] = dataclasses.replace(entry, message="forged")
+        with pytest.raises(IntegrityError):
+            store.verify_chain()
+
+    def test_deleted_entry_detected(self):
+        store = LogStore()
+        store.append("s", "one")
+        store.append("s", "two")
+        del store._entries[0]
+        with pytest.raises(IntegrityError):
+            store.verify_chain()
+
+    def test_entries_filter_by_stream_and_level(self):
+        store = LogStore()
+        store.append("a", "x", level="INFO")
+        store.append("b", "y", level="WARN")
+        store.append("a", "z", level="WARN")
+        assert len(store.entries(stream="a")) == 2
+        assert len(store.entries(level="WARN")) == 2
+        assert len(store.entries(stream="a", level="WARN")) == 1
+
+    def test_timestamps_follow_clock(self):
+        clock = SimClock()
+        store = LogStore(clock)
+        store.append("s", "first")
+        clock.advance(5.0)
+        entry = store.append("s", "second")
+        assert entry.timestamp == 5.0
+
+
+class TestMetrics:
+    def test_counter(self):
+        metrics = MetricsRegistry()
+        metrics.incr("x")
+        metrics.incr("x", 2)
+        assert metrics.counter("x") == 3
+
+    def test_gauge(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("g", 1.5)
+        assert metrics.gauge("g") == 1.5
+        assert metrics.gauge("missing") is None
+
+    def test_summary_percentiles(self):
+        metrics = MetricsRegistry()
+        for v in range(1, 101):
+            metrics.observe("lat", float(v))
+        summary = metrics.summary("lat")
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] == pytest.approx(51.0)
+        assert 95 <= summary["p95"] <= 97
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().summary("none") == {"count": 0}
+
+
+class TestMonitoringService:
+    def test_log_increments_counter(self):
+        monitoring = MonitoringService()
+        monitoring.log("ingest", "hello", level="WARN")
+        assert monitoring.metrics.counter("log.ingest.warn") == 1
+
+    def test_timed_context(self):
+        monitoring = MonitoringService()
+        with monitoring.timed("span"):
+            monitoring.clock.advance(2.0)
+        assert monitoring.metrics.summary("span")["max"] == pytest.approx(2.0)

@@ -1,0 +1,110 @@
+"""Tests for the simulated network fabric."""
+
+import pytest
+
+from repro.cloudsim.clock import SimClock
+from repro.cloudsim.network import Link, NetworkFabric, standard_topology
+from repro.core.errors import ConfigurationError, NotFoundError
+
+
+class TestLink:
+    def test_transfer_time_includes_latency_and_bandwidth(self):
+        link = Link(latency_s=0.01, bandwidth_bps=1000)
+        assert link.transfer_time(1000) == pytest.approx(0.01 + 1.0)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = Link(latency_s=0.02, bandwidth_bps=1e6)
+        assert link.transfer_time(0) == pytest.approx(0.02)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Link(0.01, 1000).transfer_time(-1)
+
+
+class TestNetworkFabric:
+    def _fabric(self):
+        fabric = NetworkFabric()
+        for name in ("a", "b", "c"):
+            fabric.add_endpoint(name)
+        fabric.connect("a", "b", latency_s=0.010, bandwidth_bps=1e6)
+        fabric.connect("b", "c", latency_s=0.020, bandwidth_bps=1e6)
+        return fabric
+
+    def test_direct_route(self):
+        assert self._fabric().route("a", "b") == ["a", "b"]
+
+    def test_multi_hop_route(self):
+        assert self._fabric().route("a", "c") == ["a", "b", "c"]
+
+    def test_multi_hop_time_sums_links(self):
+        fabric = self._fabric()
+        t = fabric.one_way_time("a", "c", 0)
+        assert t == pytest.approx(0.030)
+
+    def test_same_endpoint_is_free(self):
+        assert self._fabric().one_way_time("a", "a", 10**6) == 0.0
+
+    def test_transfer_advances_clock(self):
+        fabric = self._fabric()
+        fabric.transfer("a", "b", 1000)
+        assert fabric.clock.now > 0.0
+
+    def test_transfer_recorded(self):
+        fabric = self._fabric()
+        fabric.transfer("a", "c", 500)
+        assert fabric.total_bytes_moved() == 500
+        assert fabric.transfers[0].hops == ("a", "b", "c")
+
+    def test_partition_blocks_route(self):
+        fabric = self._fabric()
+        fabric.partition("a")
+        assert not fabric.is_reachable("a", "b")
+        with pytest.raises(NotFoundError):
+            fabric.route("a", "b")
+
+    def test_heal_restores_route(self):
+        fabric = self._fabric()
+        fabric.partition("a")
+        fabric.heal("a")
+        assert fabric.is_reachable("a", "b")
+
+    def test_partition_unknown_endpoint(self):
+        with pytest.raises(NotFoundError):
+            self._fabric().partition("zz")
+
+    def test_invalid_link_rejected(self):
+        fabric = NetworkFabric()
+        fabric.add_endpoint("a")
+        fabric.add_endpoint("b")
+        with pytest.raises(ConfigurationError):
+            fabric.connect("a", "b", latency_s=-1, bandwidth_bps=1e6)
+        with pytest.raises(ConfigurationError):
+            fabric.connect("a", "b", latency_s=0.01, bandwidth_bps=0)
+
+    def test_round_trip_time(self):
+        fabric = self._fabric()
+        rtt = fabric.round_trip_time("a", "b")
+        assert rtt > 2 * 0.010  # two latencies plus serialization
+
+    def test_shared_clock(self):
+        clock = SimClock()
+        fabric = NetworkFabric(clock)
+        fabric.add_endpoint("x")
+        fabric.add_endpoint("y")
+        fabric.connect("x", "y", 0.01, 1e6)
+        fabric.transfer("x", "y", 0)
+        assert clock.now == pytest.approx(0.01)
+
+
+class TestStandardTopology:
+    def test_wan_dominates_lan(self):
+        fabric = standard_topology()
+        wan = fabric.one_way_time("client", "cloud-a", 1024)
+        lan = fabric.one_way_time("cloud-a", "cloud-a-storage", 1024)
+        assert wan > 10 * lan
+
+    def test_client_reaches_all(self):
+        fabric = standard_topology()
+        for target in ("cloud-a", "cloud-b", "external-kb",
+                       "cloud-a-storage", "cloud-b-storage"):
+            assert fabric.is_reachable("client", target)

@@ -1,0 +1,69 @@
+"""Tests for the resource provisioning service."""
+
+import pytest
+
+from repro.cloudsim.nodes import Datacenter, Host, SoftwareComponent
+from repro.cloudsim.provisioning import (
+    ProvisionRequest,
+    ResourceProvisioningService,
+)
+from repro.core.errors import AttestationError, ConfigurationError
+
+BIOS = SoftwareComponent("bios", b"b1")
+KERNEL = SoftwareComponent("kernel", b"k1")
+IMAGE = SoftwareComponent("ubuntu", b"u22")
+
+
+def make_datacenter(with_tpm=True):
+    datacenter = Datacenter("dc")
+    host = Host("h1", bios=BIOS, hypervisor=SoftwareComponent("kvm", b"k"),
+                has_tpm=with_tpm)
+    datacenter.add_host(host)
+    return datacenter
+
+
+class TestProvisioning:
+    def test_provisions_on_attested_host(self):
+        service = ResourceProvisioningService(make_datacenter())
+        vm = service.provision_vm(ProvisionRequest(image=IMAGE), BIOS, KERNEL)
+        assert vm.vm_id.startswith("vm-")
+        assert vm.state.value == "running"
+
+    def test_rejects_host_without_tpm(self):
+        service = ResourceProvisioningService(make_datacenter(with_tpm=False))
+        with pytest.raises(AttestationError):
+            service.provision_vm(ProvisionRequest(image=IMAGE), BIOS, KERNEL)
+
+    def test_rejects_unapproved_image(self):
+        service = ResourceProvisioningService(
+            make_datacenter(), image_approver=lambda img: False)
+        with pytest.raises(AttestationError):
+            service.provision_vm(ProvisionRequest(image=IMAGE), BIOS, KERNEL)
+
+    def test_requires_image(self):
+        service = ResourceProvisioningService(make_datacenter())
+        with pytest.raises(ConfigurationError):
+            service.provision_vm(ProvisionRequest(), BIOS, KERNEL)
+
+    def test_no_capacity(self):
+        service = ResourceProvisioningService(make_datacenter())
+        with pytest.raises(ConfigurationError):
+            service.provision_vm(
+                ProvisionRequest(vcpus=1024, image=IMAGE), BIOS, KERNEL)
+
+    def test_container_approval_enforced(self):
+        approved = {IMAGE.measurement}
+        service = ResourceProvisioningService(
+            make_datacenter(),
+            image_approver=lambda img: img.measurement in approved)
+        vm = service.provision_vm(ProvisionRequest(image=IMAGE), BIOS, KERNEL)
+        container = service.provision_container(vm, IMAGE)
+        assert container.container_id.startswith("ctr-")
+        rogue = SoftwareComponent("rogue", b"evil")
+        with pytest.raises(AttestationError):
+            service.provision_container(vm, rogue)
+
+    def test_metrics_tracked(self):
+        service = ResourceProvisioningService(make_datacenter())
+        service.provision_vm(ProvisionRequest(image=IMAGE), BIOS, KERNEL)
+        assert service.monitoring.metrics.counter("provisioning.vms") == 1

@@ -1,0 +1,93 @@
+"""Tests for HMAC-based graph integrity."""
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.crypto.integrity import GraphAuthenticator
+from repro.crypto.symmetric import generate_key
+
+
+def patient_graph():
+    graph = nx.DiGraph()
+    graph.add_node("patient", kind="Patient", mrn="123")
+    graph.add_node("enc1", kind="Encounter", date="2024-01-01")
+    graph.add_node("obs1", kind="Observation", value=7.2)
+    graph.add_edge("patient", "enc1", relation="has")
+    graph.add_edge("enc1", "obs1", relation="produced")
+    return graph
+
+
+@pytest.fixture
+def authenticator():
+    return GraphAuthenticator(generate_key(9))
+
+
+class TestGraphIntegrity:
+    def test_authenticate_verify_roundtrip(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        assert authenticator.verify(graph, tags)
+
+    def test_node_attr_tamper_detected(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        graph.nodes["obs1"]["value"] = 5.0
+        assert not authenticator.verify(graph, tags)
+
+    def test_edge_attr_tamper_detected(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        graph.edges["patient", "enc1"]["relation"] = "faked"
+        assert not authenticator.verify(graph, tags)
+
+    def test_added_node_detected(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        graph.add_node("mallory", kind="Observation")
+        assert not authenticator.verify(graph, tags)
+
+    def test_removed_edge_detected(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        graph.remove_edge("enc1", "obs1")
+        assert not authenticator.verify(graph, tags)
+
+    def test_wrong_key_fails(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        other = GraphAuthenticator(generate_key(10))
+        assert not other.verify(graph, tags)
+
+    def test_require_raises(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        graph.nodes["obs1"]["value"] = 1.0
+        with pytest.raises(IntegrityError):
+            authenticator.require(graph, tags)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            GraphAuthenticator(b"short")
+
+
+class TestSubgraphSharing:
+    def test_valid_subgraph_verifies(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        sub = graph.subgraph(["patient", "enc1"]).copy()
+        assert authenticator.verify_subgraph(sub, tags)
+
+    def test_tampered_subgraph_fails(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        sub = graph.subgraph(["patient", "enc1"]).copy()
+        sub.nodes["patient"]["mrn"] = "999"
+        assert not authenticator.verify_subgraph(sub, tags)
+
+    def test_foreign_node_fails(self, authenticator):
+        graph = patient_graph()
+        tags = authenticator.authenticate(graph)
+        sub = nx.DiGraph()
+        sub.add_node("unknown", kind="X")
+        assert not authenticator.verify_subgraph(sub, tags)

@@ -1,0 +1,63 @@
+"""Tests for Merkle trees and proofs."""
+
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.crypto.merkle import MerkleTree, require_proof, verify_proof
+
+
+class TestMerkleTree:
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert verify_proof(tree.root, b"only", tree.proof(0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_all_proofs_verify(self):
+        leaves = [f"leaf-{i}".encode() for i in range(7)]  # odd count
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_proof(tree.root, leaf, tree.proof(i))
+
+    def test_power_of_two_leaves(self):
+        leaves = [f"leaf-{i}".encode() for i in range(8)]
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_proof(tree.root, leaf, tree.proof(i))
+
+    def test_wrong_leaf_fails(self):
+        leaves = [b"a", b"b", b"c"]
+        tree = MerkleTree(leaves)
+        assert not verify_proof(tree.root, b"x", tree.proof(0))
+
+    def test_wrong_position_fails(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        assert not verify_proof(tree.root, b"b", tree.proof(0))
+
+    def test_root_changes_with_content(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+    def test_root_changes_with_order(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_leaf_node_domain_separation(self):
+        # A single leaf's hash must not equal an inner node of its content.
+        t1 = MerkleTree([b"a", b"b"])
+        t2 = MerkleTree([t1.root])
+        assert t1.root != t2.root
+
+    def test_index_out_of_range(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            tree.proof(1)
+
+    def test_require_proof_raises(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(IntegrityError):
+            require_proof(tree.root, b"z", tree.proof(0))
+
+    def test_leaf_count(self):
+        assert MerkleTree([b"a", b"b", b"c"]).leaf_count == 3

@@ -1,0 +1,112 @@
+"""Tests for leakage-free redactable signatures."""
+
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.crypto.redactable import (
+    RedactableSigner,
+    deterministic_rng,
+    merkle_baseline_leakage_bits,
+    redact,
+    require_share,
+    structural_leakage_bits,
+    verify_share,
+)
+
+FIELDS = [b"name=alice", b"dob=1980-03-12", b"dx=E11.9", b"rx=metformin",
+          b"ssn=123-45-6789"]
+
+
+@pytest.fixture
+def signer(rsa_keypair):
+    return RedactableSigner(rsa_keypair, rng=deterministic_rng(3))
+
+
+@pytest.fixture
+def record(signer):
+    return signer.sign(FIELDS)
+
+
+class TestSigning:
+    def test_empty_record_rejected(self, signer):
+        with pytest.raises(ValueError):
+            signer.sign([])
+
+    def test_full_disclosure_verifies(self, record, rsa_keypair):
+        share = redact(record, range(len(FIELDS)))
+        assert verify_share(rsa_keypair.public_key(), share)
+
+    def test_partial_disclosure_verifies(self, record, rsa_keypair):
+        share = redact(record, [1, 3])
+        assert verify_share(rsa_keypair.public_key(), share)
+        assert set(share.disclosed) == {1, 3}
+
+    def test_empty_disclosure_verifies(self, record, rsa_keypair):
+        share = redact(record, [])
+        assert verify_share(rsa_keypair.public_key(), share)
+
+    def test_out_of_range_disclosure(self, record):
+        with pytest.raises(IndexError):
+            redact(record, [99])
+
+
+class TestHiding:
+    def test_hidden_fields_not_in_share(self, record):
+        share = redact(record, [2])
+        revealed = b"".join(field for field, _ in share.disclosed.values())
+        assert b"ssn" not in revealed
+        assert b"alice" not in revealed
+
+    def test_commitments_hide_equal_values(self, signer):
+        # Two records with an identical field must produce different
+        # commitments (randomness differs), or values leak cross-record.
+        r1 = signer.sign([b"dx=E11.9", b"x"])
+        r2 = signer.sign([b"dx=E11.9", b"y"])
+        assert r1.randomness[0] != r2.randomness[0]
+        s1 = redact(r1, [])
+        s2 = redact(r2, [])
+        assert s1.commitments[0] != s2.commitments[0]
+
+
+class TestTampering:
+    def test_forged_field_fails(self, record, rsa_keypair):
+        share = redact(record, [0])
+        field, randomness = share.disclosed[0]
+        share.disclosed[0] = (b"name=mallory", randomness)
+        assert not verify_share(rsa_keypair.public_key(), share)
+
+    def test_moved_field_fails(self, record, rsa_keypair):
+        share = redact(record, [0])
+        opening = share.disclosed.pop(0)
+        share.disclosed[1] = opening
+        assert not verify_share(rsa_keypair.public_key(), share)
+
+    def test_dropped_commitment_fails(self, record, rsa_keypair):
+        share = redact(record, [0])
+        truncated = type(share)(
+            disclosed=share.disclosed,
+            commitments=share.commitments[:-1],
+            order_tokens=share.order_tokens[:-1],
+            signature=share.signature,
+        )
+        assert not verify_share(rsa_keypair.public_key(), truncated)
+
+    def test_wrong_key_fails(self, record, small_rsa_keypair):
+        share = redact(record, [0])
+        assert not verify_share(small_rsa_keypair.public_key(), share)
+
+    def test_require_share_raises(self, record, small_rsa_keypair):
+        share = redact(record, [0])
+        with pytest.raises(IntegrityError):
+            require_share(small_rsa_keypair.public_key(), share)
+
+
+class TestLeakageMeasure:
+    def test_redactable_leaks_less_than_merkle(self, record):
+        share = redact(record, [0, 1])
+        assert (structural_leakage_bits(share)
+                < merkle_baseline_leakage_bits(len(FIELDS), 2))
+
+    def test_merkle_leakage_grows_with_disclosure(self):
+        assert (merkle_baseline_leakage_bits(16, 8)
+                > merkle_baseline_leakage_bits(16, 2))

@@ -1,0 +1,118 @@
+"""Tests for the from-scratch RSA and hybrid envelope encryption."""
+
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.crypto.rsa import (
+    _is_probable_prime,
+    generate_keypair,
+    hybrid_decrypt,
+    hybrid_encrypt,
+    rsa_decrypt,
+    rsa_encrypt,
+    rsa_sign,
+    rsa_verify,
+)
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 101, 7919, 104729):
+            assert _is_probable_prime(p)
+
+    def test_known_composites(self):
+        for n in (0, 1, 4, 100, 7917, 561, 41041):  # incl. Carmichaels
+            assert not _is_probable_prime(n)
+
+
+class TestKeygen:
+    def test_seeded_deterministic(self):
+        k1 = generate_keypair(bits=512, seed=1)
+        k2 = generate_keypair(bits=512, seed=1)
+        assert k1.n == k2.n and k1.d == k2.d
+
+    def test_different_seeds_different_keys(self):
+        assert (generate_keypair(bits=512, seed=1).n
+                != generate_keypair(bits=512, seed=2).n)
+
+    def test_modulus_size(self):
+        key = generate_keypair(bits=512, seed=3)
+        assert key.n.bit_length() >= 512
+
+    def test_key_identity(self):
+        key = generate_keypair(bits=512, seed=4)
+        message = 0x1234567890ABCDEF
+        assert pow(pow(message, key.e, key.n), key.d, key.n) == message
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(bits=128)
+
+    def test_fingerprint_stable(self):
+        key = generate_keypair(bits=512, seed=5).public_key()
+        assert key.fingerprint() == key.fingerprint()
+        assert len(key.fingerprint()) == 24
+
+
+class TestEncryption:
+    def test_roundtrip(self, small_rsa_keypair):
+        public = small_rsa_keypair.public_key()
+        ciphertext = rsa_encrypt(public, b"short secret")
+        assert rsa_decrypt(small_rsa_keypair, ciphertext) == b"short secret"
+
+    def test_randomized_padding(self, small_rsa_keypair):
+        public = small_rsa_keypair.public_key()
+        assert rsa_encrypt(public, b"m") != rsa_encrypt(public, b"m")
+
+    def test_message_too_long(self, small_rsa_keypair):
+        public = small_rsa_keypair.public_key()
+        with pytest.raises(ValueError):
+            rsa_encrypt(public, b"x" * 200)
+
+    def test_wrong_length_ciphertext(self, small_rsa_keypair):
+        with pytest.raises(IntegrityError):
+            rsa_decrypt(small_rsa_keypair, b"abc")
+
+
+class TestSignatures:
+    def test_sign_verify(self, small_rsa_keypair):
+        signature = rsa_sign(small_rsa_keypair, b"the message")
+        assert rsa_verify(small_rsa_keypair.public_key(), b"the message",
+                          signature)
+
+    def test_verify_rejects_other_message(self, small_rsa_keypair):
+        signature = rsa_sign(small_rsa_keypair, b"the message")
+        assert not rsa_verify(small_rsa_keypair.public_key(),
+                              b"another message", signature)
+
+    def test_verify_rejects_other_key(self, small_rsa_keypair):
+        other = generate_keypair(bits=512, seed=77)
+        signature = rsa_sign(small_rsa_keypair, b"m")
+        assert not rsa_verify(other.public_key(), b"m", signature)
+
+    def test_verify_rejects_garbage(self, small_rsa_keypair):
+        assert not rsa_verify(small_rsa_keypair.public_key(), b"m", b"junk")
+
+
+class TestHybrid:
+    def test_bulk_roundtrip(self, rsa_keypair):
+        data = b"phi-record " * 10_000
+        envelope = hybrid_encrypt(rsa_keypair.public_key(), data)
+        assert hybrid_decrypt(rsa_keypair, envelope) == data
+
+    def test_associated_data(self, rsa_keypair):
+        envelope = hybrid_encrypt(rsa_keypair.public_key(), b"d", b"ctx")
+        assert hybrid_decrypt(rsa_keypair, envelope, b"ctx") == b"d"
+        with pytest.raises(IntegrityError):
+            hybrid_decrypt(rsa_keypair, envelope, b"other")
+
+    def test_wrong_private_key(self, rsa_keypair):
+        other = generate_keypair(bits=1024, seed=31337)
+        envelope = hybrid_encrypt(rsa_keypair.public_key(), b"data")
+        with pytest.raises(IntegrityError):
+            hybrid_decrypt(other, envelope)
+
+    def test_envelope_overhead_is_bounded(self, rsa_keypair):
+        data = b"x" * 100_000
+        envelope = hybrid_encrypt(rsa_keypair.public_key(), data)
+        assert len(envelope) < len(data) + 1024

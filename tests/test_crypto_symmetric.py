@@ -1,0 +1,106 @@
+"""Tests for the shared-key AEAD and HMAC helpers."""
+
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.crypto.symmetric import (
+    Ciphertext,
+    SharedKeyCipher,
+    compute_hmac,
+    generate_key,
+    hkdf_expand,
+    verify_hmac,
+)
+
+
+class TestKeys:
+    def test_seeded_keys_deterministic(self):
+        assert generate_key(7) == generate_key(7)
+        assert generate_key(7) != generate_key(8)
+
+    def test_unseeded_keys_random(self):
+        assert generate_key() != generate_key()
+
+    def test_hkdf_lengths(self):
+        key = generate_key(1)
+        assert len(hkdf_expand(key, b"a", 16)) == 16
+        assert len(hkdf_expand(key, b"a", 100)) == 100
+
+    def test_hkdf_info_separation(self):
+        key = generate_key(1)
+        assert hkdf_expand(key, b"enc") != hkdf_expand(key, b"mac")
+
+
+class TestAead:
+    def test_roundtrip(self):
+        cipher = SharedKeyCipher(generate_key(1))
+        ciphertext = cipher.encrypt(b"protected health information")
+        assert cipher.decrypt(ciphertext) == b"protected health information"
+
+    def test_empty_plaintext(self):
+        cipher = SharedKeyCipher(generate_key(1))
+        assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+    def test_large_plaintext(self):
+        cipher = SharedKeyCipher(generate_key(2))
+        data = bytes(range(256)) * 4096  # 1 MiB
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = SharedKeyCipher(generate_key(1))
+        assert cipher.encrypt(b"hello" * 10).body != b"hello" * 10
+
+    def test_nonces_unique_per_message(self):
+        cipher = SharedKeyCipher(generate_key(1))
+        c1 = cipher.encrypt(b"same")
+        c2 = cipher.encrypt(b"same")
+        assert c1.nonce != c2.nonce
+        assert c1.body != c2.body
+
+    def test_tamper_detected(self):
+        cipher = SharedKeyCipher(generate_key(1))
+        ciphertext = cipher.encrypt(b"attack at dawn")
+        flipped = bytes([ciphertext.body[0] ^ 1]) + ciphertext.body[1:]
+        tampered = Ciphertext(ciphertext.nonce, flipped, ciphertext.tag)
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(tampered)
+
+    def test_wrong_key_rejected(self):
+        good = SharedKeyCipher(generate_key(1))
+        evil = SharedKeyCipher(generate_key(2))
+        with pytest.raises(IntegrityError):
+            evil.decrypt(good.encrypt(b"secret"))
+
+    def test_associated_data_bound(self):
+        cipher = SharedKeyCipher(generate_key(1))
+        ciphertext = cipher.encrypt(b"payload", associated_data=b"record-1")
+        assert cipher.decrypt(ciphertext, b"record-1") == b"payload"
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(ciphertext, b"record-2")
+
+    def test_serialization_roundtrip(self):
+        cipher = SharedKeyCipher(generate_key(3))
+        ciphertext = cipher.encrypt(b"data")
+        restored = Ciphertext.from_bytes(ciphertext.to_bytes())
+        assert cipher.decrypt(restored) == b"data"
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(IntegrityError):
+            Ciphertext.from_bytes(b"short")
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            SharedKeyCipher(b"short")
+
+
+class TestHmac:
+    def test_verify_roundtrip(self):
+        key = generate_key(4)
+        tag = compute_hmac(key, b"graph data")
+        assert verify_hmac(key, b"graph data", tag)
+
+    def test_verify_rejects_changes(self):
+        key = generate_key(4)
+        tag = compute_hmac(key, b"graph data")
+        assert not verify_hmac(key, b"graph datum", tag)
+        assert not verify_hmac(generate_key(5), b"graph data", tag)

@@ -1,0 +1,196 @@
+"""Tests for FHIR resources, validation, and the HL7v2 adapter."""
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.fhir.hl7v2 import bundle_to_hl7, hl7_to_bundle, message_type
+from repro.fhir.resources import (
+    Bundle,
+    Condition,
+    Consent,
+    MedicationRequest,
+    Observation,
+    Patient,
+    resource_from_dict,
+)
+from repro.fhir.validation import BundleValidator
+
+
+def sample_bundle():
+    bundle = Bundle(id="b1")
+    bundle.add(Patient(id="pt-1", name={"family": "Doe", "given": ["Jane"]},
+                       birthDate="1980-03-12", gender="female"))
+    bundle.add(Observation(id="o1", code={"text": "HbA1c"},
+                           subject="Patient/pt-1",
+                           effectiveDateTime="2024-01-15",
+                           valueQuantity={"value": 7.2, "unit": "%"}))
+    bundle.add(MedicationRequest(id="m1", medication={"text": "metformin"},
+                                 subject="Patient/pt-1",
+                                 authoredOn="2024-01-10"))
+    return bundle
+
+
+class TestResources:
+    def test_json_roundtrip(self):
+        bundle = sample_bundle()
+        restored = Bundle.from_json(bundle.to_json())
+        assert restored.to_json() == bundle.to_json()
+        assert len(restored.entries) == 3
+
+    def test_polymorphic_from_dict(self):
+        data = {"resourceType": "Condition", "id": "c1",
+                "code": {"text": "T2D"}, "subject": "Patient/p"}
+        resource = resource_from_dict(data)
+        assert isinstance(resource, Condition)
+
+    def test_unknown_resource_type(self):
+        with pytest.raises(ValidationError):
+            resource_from_dict({"resourceType": "Alien", "id": "x"})
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(ValidationError):
+            Patient.from_dict({"resourceType": "Patient", "id": "p",
+                               "hovercraft": True})
+
+    def test_wrong_discriminator_rejected(self):
+        with pytest.raises(ValidationError):
+            Patient.from_dict({"resourceType": "Observation", "id": "p"})
+
+    def test_resources_of_filters(self):
+        bundle = sample_bundle()
+        assert len(bundle.resources_of(Patient)) == 1
+        assert len(bundle.resources_of(Observation)) == 1
+        assert len(bundle.resources_of(Consent)) == 0
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ValidationError):
+            Bundle.from_json("{not json")
+
+
+class TestValidation:
+    def test_valid_bundle_passes(self):
+        report = BundleValidator().validate(sample_bundle())
+        assert report.valid, report.errors
+
+    def test_empty_bundle_fails(self):
+        report = BundleValidator().validate(Bundle(id="b"))
+        assert not report.valid
+
+    def test_dangling_subject_fails(self):
+        bundle = Bundle(id="b")
+        bundle.add(Observation(id="o", code={"text": "x"},
+                               subject="Patient/ghost"))
+        report = BundleValidator().validate(bundle)
+        assert any("unknown patient" in e for e in report.errors)
+
+    def test_known_patient_registry_accepted(self):
+        bundle = Bundle(id="b")
+        bundle.add(Observation(id="o", code={"text": "x"},
+                               subject="Patient/known-1"))
+        report = BundleValidator({"known-1"}).validate(bundle)
+        assert report.valid
+
+    def test_bad_birthdate_fails(self):
+        bundle = Bundle(id="b")
+        bundle.add(Patient(id="p", name={"family": "X"},
+                           birthDate="03/12/1980"))
+        report = BundleValidator().validate(bundle)
+        assert any("birthDate" in e for e in report.errors)
+
+    def test_bad_gender_fails(self):
+        bundle = Bundle(id="b")
+        bundle.add(Patient(id="p", name={"family": "X"}, gender="robot"))
+        assert not BundleValidator().validate(bundle).valid
+
+    def test_non_numeric_value_fails(self):
+        bundle = Bundle(id="b")
+        bundle.add(Patient(id="p", name={"family": "X"}))
+        bundle.add(Observation(id="o", code={"text": "x"},
+                               subject="Patient/p",
+                               valueQuantity={"value": "high"}))
+        assert not BundleValidator().validate(bundle).valid
+
+    def test_duplicate_ids_fail(self):
+        bundle = Bundle(id="b")
+        bundle.add(Patient(id="p", name={"family": "X"}))
+        bundle.add(Patient(id="p", name={"family": "Y"}))
+        report = BundleValidator().validate(bundle)
+        assert any("duplicate" in e for e in report.errors)
+
+    def test_bad_status_fails(self):
+        bundle = Bundle(id="b")
+        bundle.add(Patient(id="p", name={"family": "X"}))
+        bundle.add(Observation(id="o", status="guessed", code={"text": "x"},
+                               subject="Patient/p"))
+        assert not BundleValidator().validate(bundle).valid
+
+    def test_unconsented_warning(self):
+        bundle = Bundle(id="b")
+        bundle.add(Patient(id="p", name={"family": "X"}))
+        bundle.add(Consent(id="c", patient="Patient/p"))
+        report = BundleValidator().validate(bundle)
+        assert report.valid
+        assert any("study group" in w for w in report.warnings)
+
+
+HL7_ORU = (
+    "MSH|^~\\&|LAB|HOSP|||20240115||ORU^R01|msg-1|P|2.5\r"
+    "PID|1||pt-9||Doe^Jane||19800312|F|||12 Main St^^Boston^MA^02115\r"
+    "OBX|1|NM|4548-4^HbA1c||7.2|%\r"
+    "OBX|2|NM|2345-7^Glucose||140|mg/dL"
+)
+
+
+class TestHl7Adapter:
+    def test_message_type(self):
+        assert message_type(HL7_ORU) == "ORU^R01"
+
+    def test_oru_to_bundle(self):
+        bundle = hl7_to_bundle(HL7_ORU, "b-hl7")
+        patients = bundle.resources_of(Patient)
+        observations = bundle.resources_of(Observation)
+        assert len(patients) == 1
+        assert patients[0].birthDate == "1980-03-12"
+        assert patients[0].gender == "female"
+        assert patients[0].address["city"] == "Boston"
+        assert len(observations) == 2
+        assert observations[0].valueQuantity["value"] == 7.2
+
+    def test_converted_bundle_validates(self):
+        bundle = hl7_to_bundle(HL7_ORU, "b-hl7")
+        assert BundleValidator().validate(bundle).valid
+
+    def test_rde_to_medication(self):
+        message = ("MSH|^~\\&|PHARM|||||20240110|RDE^O11|m2|P|2.5\r"
+                   "PID|1||pt-3||Roe^Bob||19701201|M\r"
+                   "RXE|1|860975^metformin|500mg bid")
+        bundle = hl7_to_bundle(message, "b-rx")
+        meds = bundle.resources_of(MedicationRequest)
+        assert len(meds) == 1
+        assert meds[0].medication["text"] == "metformin"
+        assert meds[0].dosageText == "500mg bid"
+
+    def test_roundtrip_preserves_key_data(self):
+        bundle = hl7_to_bundle(HL7_ORU, "b-hl7")
+        rendered = bundle_to_hl7(bundle)
+        back = hl7_to_bundle(rendered, "b-rt")
+        assert back.resources_of(Patient)[0].birthDate == "1980-03-12"
+        assert len(back.resources_of(Observation)) == 2
+
+    def test_missing_pid_rejected(self):
+        with pytest.raises(ValidationError):
+            hl7_to_bundle("MSH|^~\\&|LAB|||||20240101|ORU^R01|m|P|2.5\r"
+                          "OBX|1|NM|X^Y||1|u", "b")
+
+    def test_obx_before_pid_rejected(self):
+        with pytest.raises(ValidationError):
+            hl7_to_bundle("MSH|^~\\&|LAB|||||20240101|ORU^R01|m|P|2.5\r"
+                          "OBX|1|NM|X^Y||1|u\rPID|1||p||N^M||19800101|F", "b")
+
+    def test_non_msh_start_rejected(self):
+        with pytest.raises(ValidationError):
+            hl7_to_bundle("PID|1||p", "b")
+
+    def test_export_requires_patient(self):
+        with pytest.raises(ValidationError):
+            bundle_to_hl7(Bundle(id="empty"))

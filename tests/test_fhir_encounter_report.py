@@ -1,0 +1,127 @@
+"""Tests for the Encounter and DiagnosticReport resources + PV1 mapping."""
+
+import pytest
+
+from repro.fhir.hl7v2 import hl7_to_bundle
+from repro.fhir.resources import (
+    Bundle,
+    DiagnosticReport,
+    Encounter,
+    Observation,
+    Patient,
+    resource_from_dict,
+)
+from repro.fhir.validation import BundleValidator
+from repro.privacy.deidentify import Deidentifier
+
+
+def full_bundle():
+    bundle = Bundle(id="b")
+    bundle.add(Patient(id="pt-1", name={"family": "X"},
+                       birthDate="1980-01-01", gender="female"))
+    bundle.add(Encounter(id="e1", classCode="inpatient",
+                         subject="Patient/pt-1",
+                         periodStart="2024-03-01", periodEnd="2024-03-05"))
+    bundle.add(Observation(id="o1", code={"text": "HbA1c"},
+                           subject="Patient/pt-1",
+                           valueQuantity={"value": 7.0}))
+    bundle.add(DiagnosticReport(id="d1", code={"text": "metabolic panel"},
+                                subject="Patient/pt-1",
+                                result=["Observation/o1"],
+                                effectiveDateTime="2024-03-02",
+                                conclusion="elevated HbA1c"))
+    return bundle
+
+
+class TestResources:
+    def test_roundtrip(self):
+        bundle = full_bundle()
+        restored = Bundle.from_json(bundle.to_json())
+        assert len(restored.resources_of(Encounter)) == 1
+        assert len(restored.resources_of(DiagnosticReport)) == 1
+
+    def test_polymorphic_dispatch(self):
+        encounter = resource_from_dict(
+            {"resourceType": "Encounter", "id": "e",
+             "subject": "Patient/p"})
+        assert isinstance(encounter, Encounter)
+
+    def test_valid_bundle_passes(self):
+        report = BundleValidator().validate(full_bundle())
+        assert report.valid, report.errors
+
+
+class TestValidation:
+    def test_bad_encounter_class(self):
+        bundle = Bundle(id="b")
+        bundle.add(Patient(id="p", name={"family": "X"}))
+        bundle.add(Encounter(id="e", classCode="teleporter",
+                             subject="Patient/p"))
+        assert not BundleValidator().validate(bundle).valid
+
+    def test_inverted_period(self):
+        bundle = Bundle(id="b")
+        bundle.add(Patient(id="p", name={"family": "X"}))
+        bundle.add(Encounter(id="e", subject="Patient/p",
+                             periodStart="2024-03-05",
+                             periodEnd="2024-03-01"))
+        report = BundleValidator().validate(bundle)
+        assert any("ends before" in e for e in report.errors)
+
+    def test_diagnostic_report_bad_result_reference(self):
+        bundle = Bundle(id="b")
+        bundle.add(Patient(id="p", name={"family": "X"}))
+        bundle.add(DiagnosticReport(id="d", code={"text": "x"},
+                                    subject="Patient/p",
+                                    result=["Medication/m1"]))
+        assert not BundleValidator().validate(bundle).valid
+
+    def test_encounter_requires_subject(self):
+        bundle = Bundle(id="b")
+        bundle.add(Encounter(id="e"))
+        assert not BundleValidator().validate(bundle).valid
+
+
+class TestPv1Mapping:
+    MESSAGE = ("MSH|^~\\&|ADT|HOSP|||20240301||ADT^A01|m|P|2.5\r"
+               "PID|1||pt-7||Roe^Ann||19650505|F\r"
+               "PV1|1|I|WARD-3^ROOM-12")
+
+    def test_pv1_to_encounter(self):
+        bundle = hl7_to_bundle(self.MESSAGE, "adt-1")
+        encounters = bundle.resources_of(Encounter)
+        assert len(encounters) == 1
+        encounter = encounters[0]
+        assert encounter.classCode == "inpatient"
+        assert encounter.subject == "Patient/pt-7"
+        assert encounter.location == "WARD-3"
+        assert encounter.periodStart == "2024-03-01"
+
+    def test_adt_bundle_validates(self):
+        bundle = hl7_to_bundle(self.MESSAGE, "adt-1")
+        assert BundleValidator().validate(bundle).valid
+
+    def test_pv1_before_pid_rejected(self):
+        from repro.core.errors import ValidationError
+        bad = ("MSH|^~\\&|ADT|||||20240301|ADT^A01|m|P|2.5\r"
+               "PV1|1|I|W\rPID|1||p||N^M||19800101|F")
+        with pytest.raises(ValidationError):
+            hl7_to_bundle(bad, "b")
+
+
+class TestDeidentification:
+    def test_encounter_dates_truncated(self):
+        deidentifier = Deidentifier(b"enc-test-secret-0123456789ab")
+        bundle = full_bundle()
+        clean, _ = deidentifier.deidentify_bundle(bundle)
+        encounter = clean.resources_of(Encounter)[0]
+        assert encounter.periodStart == "2024-03"
+        assert encounter.periodEnd == "2024-03"
+        assert encounter.subject.startswith("Patient/ref-")
+
+    def test_diagnostic_report_re_referenced(self):
+        deidentifier = Deidentifier(b"enc-test-secret-0123456789ab")
+        clean, _ = deidentifier.deidentify_bundle(full_bundle())
+        diagnostic = clean.resources_of(DiagnosticReport)[0]
+        assert diagnostic.subject.startswith("Patient/ref-")
+        assert diagnostic.effectiveDateTime == "2024-03"

@@ -1,0 +1,166 @@
+"""Tests for trusted containers and the intercloud secure gateway."""
+
+import pytest
+
+from repro.cloudsim.network import NetworkFabric
+from repro.cloudsim.nodes import Host, SoftwareComponent, VirtualMachine
+from repro.core.errors import AttestationError, GatewayError
+from repro.crypto.rsa import generate_keypair
+from repro.gateway.containers import (
+    TrustedAuthoringEnvironment,
+    verify_container,
+)
+from repro.gateway.transfer import CloudInstance, IntercloudGateway
+from repro.trusted.attestation import AttestationService
+from repro.trusted.chain import TrustedBootOrchestrator
+
+
+@pytest.fixture
+def authoring():
+    key = generate_keypair(bits=1024, seed=70)
+    env = TrustedAuthoringEnvironment(key)
+    env.register_entrypoint("count-bytes",
+                            lambda payload: len(payload["data"]))
+    return env, key
+
+
+def make_cloud(name, orchestrator_seed):
+    attestation = AttestationService(seed=orchestrator_seed)
+    orchestrator = TrustedBootOrchestrator(attestation,
+                                           seed=orchestrator_seed)
+    host = Host(f"{name}-host",
+                bios=SoftwareComponent("bios", b"b1"),
+                hypervisor=SoftwareComponent("kvm", b"k1"))
+    host.start()
+    orchestrator.boot_host(host)
+    vm = VirtualMachine(f"{name}-vm",
+                        bios=SoftwareComponent("seabios", b"s1"),
+                        kernel=SoftwareComponent("linux", b"k5"),
+                        image=SoftwareComponent("ubuntu", b"u22"))
+    host.launch_vm(vm)
+    orchestrator.boot_vm(host.host_id, vm)
+    return CloudInstance(name=name, orchestrator=orchestrator,
+                         host_id=host.host_id, vm=vm)
+
+
+@pytest.fixture
+def gateway(authoring):
+    env, key = authoring
+    fabric = NetworkFabric()
+    fabric.add_endpoint("cloud-a")
+    fabric.add_endpoint("cloud-b")
+    fabric.connect("cloud-a", "cloud-b", latency_s=0.06,
+                   bandwidth_bps=125e6)
+    gateway = IntercloudGateway(fabric, env, key.public_key())
+    cloud_a = make_cloud("cloud-a", 71)
+    cloud_b = make_cloud("cloud-b", 72)
+    cloud_b.datasets["emr"] = b"x" * 1_000_000
+    cloud_a.datasets["emr-copy"] = b"x" * 1_000_000
+    gateway.register_cloud(cloud_a)
+    gateway.register_cloud(cloud_b)
+    return gateway, cloud_a, cloud_b
+
+
+class TestContainers:
+    def test_build_and_verify(self, authoring):
+        env, key = authoring
+        container = env.build("jmf", "count-bytes", ("numpy",))
+        assert verify_container(container, key.public_key())
+
+    def test_untrusted_library_rejected(self, authoring):
+        env, _ = authoring
+        with pytest.raises(GatewayError):
+            env.build("jmf", "count-bytes", ("numpy", "left-pad"))
+
+    def test_unvetted_entrypoint_rejected(self, authoring):
+        env, _ = authoring
+        with pytest.raises(GatewayError):
+            env.build("jmf", "rm-rf", ("numpy",))
+
+    def test_wrong_key_fails_verification(self, authoring):
+        env, _ = authoring
+        container = env.build("jmf", "count-bytes", ("numpy",))
+        other = generate_keypair(bits=512, seed=99)
+        assert not verify_container(container, other.public_key())
+
+    def test_tampered_manifest_fails(self, authoring):
+        env, key = authoring
+        container = env.build("jmf", "count-bytes", ("numpy",))
+        import dataclasses
+        forged_manifest = dataclasses.replace(container.manifest,
+                                              entrypoint="rm-rf")
+        forged = dataclasses.replace(container, manifest=forged_manifest)
+        assert not verify_container(forged, key.public_key())
+
+
+class TestGateway:
+    def test_ship_container_to_data(self, gateway, authoring):
+        env, _ = authoring
+        gw, _, cloud_b = gateway
+        container = env.build("counter", "count-bytes", ("numpy",),
+                              payload_size_bytes=5_000_000)
+        report = gw.ship_container(container, "cloud-a", "cloud-b", "emr")
+        assert report.result == 1_000_000
+        assert report.executed_at == "cloud-b"
+        assert report.bytes_transferred == 5_000_000
+        assert report.attested
+
+    def test_ship_data_to_compute(self, gateway):
+        gw, _, _ = gateway
+        report = gw.ship_data("cloud-b", "cloud-a", "emr", "count-bytes")
+        assert report.result == 1_000_000
+        assert report.bytes_transferred == 1_000_000
+
+    def test_container_cheaper_when_data_large(self, gateway, authoring):
+        env, _ = authoring
+        gw, _, _ = gateway
+        container = env.build("counter", "count-bytes", ("numpy",),
+                              payload_size_bytes=10_000)
+        to_data = gw.ship_container(container, "cloud-a", "cloud-b", "emr")
+        to_compute = gw.ship_data("cloud-b", "cloud-a", "emr", "count-bytes")
+        assert to_data.transfer_time_s < to_compute.transfer_time_s
+
+    def test_untrusted_target_refused(self, gateway, authoring):
+        env, _ = authoring
+        gw, _, cloud_b = gateway
+        # Tamper with cloud-b's VM kernel PCR.
+        vtpm = cloud_b.orchestrator.host_of(
+            cloud_b.host_id).vtpm_manager.instance_for(cloud_b.vm.vm_id)
+        vtpm.extend(9, "rootkit", "ff" * 32)
+        container = env.build("counter", "count-bytes", ("numpy",))
+        with pytest.raises(AttestationError):
+            gw.ship_container(container, "cloud-a", "cloud-b", "emr")
+
+    def test_forged_container_refused(self, gateway):
+        gw, _, _ = gateway
+        rogue_key = generate_keypair(bits=512, seed=500)
+        rogue_env = TrustedAuthoringEnvironment(rogue_key)
+        rogue_env.register_entrypoint("count-bytes",
+                                      lambda payload: 0)
+        container = rogue_env.build("evil", "count-bytes", ("numpy",))
+        with pytest.raises(GatewayError):
+            gw.ship_container(container, "cloud-a", "cloud-b", "emr")
+
+    def test_missing_dataset(self, gateway, authoring):
+        env, _ = authoring
+        gw, _, _ = gateway
+        container = env.build("counter", "count-bytes", ("numpy",))
+        with pytest.raises(GatewayError):
+            gw.ship_container(container, "cloud-a", "cloud-b", "nope")
+
+    def test_unknown_cloud(self, gateway, authoring):
+        env, _ = authoring
+        gw, _, _ = gateway
+        container = env.build("counter", "count-bytes", ("numpy",))
+        with pytest.raises(GatewayError):
+            gw.ship_container(container, "cloud-a", "cloud-z", "emr")
+
+    def test_workload_containers_attested_into_chain(self, gateway,
+                                                     authoring):
+        env, _ = authoring
+        gw, _, cloud_b = gateway
+        container = env.build("counter", "count-bytes", ("numpy",))
+        gw.ship_container(container, "cloud-a", "cloud-b", "emr")
+        result = cloud_b.orchestrator.attest_vm_with_containers(
+            cloud_b.host_id, cloud_b.vm.vm_id)
+        assert result.trusted

@@ -1,0 +1,215 @@
+"""Tests for HA/DR replication, signcryption, and the DevOps pipeline."""
+
+import pytest
+
+from repro.cloudsim.nodes import SoftwareComponent
+from repro.compliance.change import ChangeManagementService
+from repro.compliance.devops import BuildStage, CompliantDevOpsPipeline
+from repro.core.errors import (
+    ComplianceError,
+    IntegrityError,
+    KeyManagementError,
+    ServiceUnavailableError,
+)
+from repro.crypto.kms import KeyManagementService
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signcryption import signcrypt, unsigncrypt
+from repro.ingestion.replication import ReplicatedDataLake
+from repro.trusted.attestation import AttestationService
+from repro.trusted.images import ImageManagementService
+
+
+@pytest.fixture
+def replicated():
+    kms = KeyManagementService("t", seed=44)
+    return ReplicatedDataLake(kms, ["zone-a", "zone-b", "zone-c"])
+
+
+class TestReplicatedDataLake:
+    def test_write_replicates_synchronously(self, replicated):
+        replicated.store("ref-1", b"record one")
+        assert replicated.zones_consistent()
+
+    def test_read_after_primary_failure(self, replicated):
+        record = replicated.store("ref-1", b"survives failover")
+        replicated.fail_zone("zone-a")
+        assert replicated.primary_zone != "zone-a"
+        assert replicated.retrieve(record.record_id) == b"survives failover"
+
+    def test_writes_continue_after_failover(self, replicated):
+        replicated.store("ref-1", b"before")
+        replicated.fail_zone("zone-a")
+        record = replicated.store("ref-2", b"after failover")
+        assert replicated.retrieve(record.record_id) == b"after failover"
+
+    def test_healed_zone_catches_up(self, replicated):
+        replicated.store("ref-1", b"one")
+        replicated.fail_zone("zone-b")
+        replicated.store("ref-2", b"two")   # zone-b misses this
+        replicated.heal_zone("zone-b")
+        assert replicated.zones_consistent()
+
+    def test_dr_drill_no_data_loss(self, replicated):
+        for i in range(10):
+            replicated.store(f"ref-{i}", f"record {i}".encode())
+        report = replicated.disaster_recovery_drill()
+        assert report["records_verified"] == 10
+        assert not report["data_loss"]
+
+    def test_total_outage_rejected(self, replicated):
+        replicated.fail_zone("zone-b")
+        replicated.fail_zone("zone-c")
+        with pytest.raises(ServiceUnavailableError):
+            replicated.fail_zone("zone-a")  # nothing left to promote
+
+    def test_forget_covers_all_zones(self, replicated):
+        record = replicated.store("ref-1", b"to forget")
+        replicated.forget_patient("ref-1")
+        with pytest.raises(KeyManagementError):
+            replicated.retrieve(record.record_id)
+        # Even replicas cannot serve it: the shared key is destroyed.
+        replicated.fail_zone("zone-a")
+        with pytest.raises(KeyManagementError):
+            replicated.retrieve(record.record_id)
+
+    def test_needs_two_zones(self):
+        with pytest.raises(ServiceUnavailableError):
+            ReplicatedDataLake(KeyManagementService("t", seed=1), ["only"])
+
+    def test_async_mode_converges_on_read(self):
+        kms = KeyManagementService("t", seed=45)
+        lake = ReplicatedDataLake(kms, ["a", "b"], synchronous=False)
+        record = lake.store("ref-1", b"lazy replication")
+        lake.fail_zone("a")
+        assert lake.retrieve(record.record_id) == b"lazy replication"
+
+
+class TestSigncryption:
+    @pytest.fixture(scope="class")
+    def parties(self):
+        sender = generate_keypair(bits=1024, seed=91)
+        receiver = generate_keypair(bits=1024, seed=92)
+        mallory = generate_keypair(bits=1024, seed=93)
+        return sender, receiver, mallory
+
+    def test_roundtrip(self, parties):
+        sender, receiver, _ = parties
+        message = signcrypt(sender, receiver.public_key(), b"phi payload")
+        assert unsigncrypt(receiver, sender.public_key(),
+                           message) == b"phi payload"
+
+    def test_wrong_receiver_cannot_open(self, parties):
+        sender, receiver, mallory = parties
+        message = signcrypt(sender, receiver.public_key(), b"secret")
+        with pytest.raises(IntegrityError):
+            unsigncrypt(mallory, sender.public_key(), message)
+
+    def test_sender_spoofing_detected(self, parties):
+        sender, receiver, mallory = parties
+        message = signcrypt(mallory, receiver.public_key(), b"forged")
+        # Receiver believes it came from sender -> must fail.
+        with pytest.raises(IntegrityError):
+            unsigncrypt(receiver, sender.public_key(), message)
+
+    def test_ciphertext_tamper_detected(self, parties):
+        import dataclasses
+        sender, receiver, _ = parties
+        message = signcrypt(sender, receiver.public_key(), b"data")
+        body = message.envelope.body
+        flipped = dataclasses.replace(
+            body, body=bytes([body.body[0] ^ 1]) + body.body[1:])
+        tampered = dataclasses.replace(
+            message, envelope=dataclasses.replace(message.envelope,
+                                                  body=flipped))
+        with pytest.raises(IntegrityError):
+            unsigncrypt(receiver, sender.public_key(), tampered)
+
+    def test_forwarding_attack_blocked(self, parties):
+        # A message signcrypted for receiver cannot be re-targeted: the
+        # signature binds the receiver fingerprint.
+        sender, receiver, mallory = parties
+        original = signcrypt(sender, receiver.public_key(), b"for receiver")
+        plaintext = unsigncrypt(receiver, sender.public_key(), original)
+        # Receiver (now acting badly) re-encrypts the inner payload to
+        # mallory, claiming it came from sender -> fails verification
+        # because the signature covers 'to: receiver'.
+        from repro.crypto.rsa import hybrid_encrypt
+        import json
+        inner = json.dumps({
+            "sig": "00" * 128,
+            "body": plaintext.hex(),
+        }).encode()
+        import dataclasses
+        forged_envelope = hybrid_encrypt(
+            mallory.public_key(), inner,
+            associated_data=sender.public_key().fingerprint().encode())
+        forged = dataclasses.replace(original, envelope=forged_envelope)
+        with pytest.raises(IntegrityError):
+            unsigncrypt(mallory, sender.public_key(), forged)
+
+
+class TestDevOpsPipeline:
+    @pytest.fixture
+    def pipeline(self):
+        attestation = AttestationService(seed=30)
+        images = ImageManagementService(attestation)
+        change_management = ChangeManagementService(attestation)
+        key = generate_keypair(bits=1024, seed=31)
+        return (CompliantDevOpsPipeline(key, attestation, images,
+                                        change_management),
+                attestation, images)
+
+    def test_full_pipeline_produces_approved_image(self, pipeline):
+        devops, attestation, images = pipeline
+        signed = devops.run_full_pipeline(
+            "analytics-svc", b"def main(): ...",
+            requested_by="dev1", approver="sec-officer")
+        assert images.is_approved(signed.image)
+
+    def test_stages_cannot_be_skipped(self, pipeline):
+        devops, _, _ = pipeline
+        record = devops.submit_source("svc", b"code")
+        with pytest.raises(ComplianceError):
+            devops.test(record.build_id)  # not built yet
+        devops.build(record.build_id)
+        with pytest.raises(ComplianceError):
+            devops.sign_and_register(record.build_id)  # no review/approval
+
+    def test_failing_tests_block(self, pipeline):
+        devops, _, _ = pipeline
+        record = devops.submit_source("svc", b"broken code")
+        devops.build(record.build_id)
+        with pytest.raises(ComplianceError):
+            devops.test(record.build_id, test_fn=lambda src: False)
+        assert record.stage is BuildStage.BUILT
+
+    def test_separation_of_duties_enforced(self, pipeline):
+        devops, _, _ = pipeline
+        record = devops.submit_source("svc", b"code")
+        devops.build(record.build_id)
+        devops.test(record.build_id)
+        devops.security_review(record.build_id, "sec")
+        from repro.core.errors import ChangeManagementError
+        with pytest.raises(ChangeManagementError):
+            devops.request_approval(record.build_id, requested_by="dev1",
+                                    approver="dev1")
+
+    def test_out_of_band_image_rejected(self, pipeline):
+        devops, attestation, images = pipeline
+        rogue_key = generate_keypair(bits=512, seed=666)
+        images.register_signer(rogue_key.public_key())
+        from repro.trusted.images import sign_image
+        from repro.core.errors import AttestationError
+        rogue_image = sign_image(SoftwareComponent("backdoor", b"evil"),
+                                 rogue_key)
+        with pytest.raises(AttestationError):
+            images.register_image(rogue_image)
+
+    def test_change_record_attached(self, pipeline):
+        devops, _, _ = pipeline
+        record = devops.submit_source("svc", b"code")
+        devops.build(record.build_id)
+        devops.test(record.build_id)
+        devops.security_review(record.build_id, "sec", "lgtm")
+        devops.request_approval(record.build_id, "dev1", "sec-officer")
+        assert record.change_id is not None

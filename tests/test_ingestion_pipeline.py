@@ -1,0 +1,232 @@
+"""Tests for the asynchronous ingestion pipeline and export service."""
+
+import pytest
+
+from repro.core.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    ConsentError,
+    ExportError,
+)
+from repro.crypto.rsa import hybrid_encrypt
+from repro.fhir.resources import Bundle, Observation, Patient
+from repro.ingestion.export import ExportService
+from repro.ingestion.pipeline import (
+    IngestionStatus,
+    encrypt_bundle_for_upload,
+)
+from repro.rbac.model import Action, Permission, Scope, ScopeKind
+from repro import HealthCloudPlatform
+
+
+def make_bundle(patient_id="pt-1", bundle_id="b1"):
+    bundle = Bundle(id=bundle_id)
+    bundle.add(Patient(id=patient_id, name={"family": "Doe"},
+                       birthDate="1980-03-12", gender="female"))
+    bundle.add(Observation(id=f"{patient_id}-obs", code={"text": "HbA1c"},
+                           subject=f"Patient/{patient_id}",
+                           valueQuantity={"value": 7.0, "unit": "%"}))
+    return bundle
+
+
+@pytest.fixture
+def platform():
+    p = HealthCloudPlatform(seed=17)
+    context = p.register_tenant("acme")
+    group = p.rbac.create_group(context.tenant.tenant_id, "study")
+    registration = p.ingestion.register_client("client-1")
+    return p, context, group, registration
+
+
+class TestUploadFlow:
+    def test_happy_path(self, platform):
+        p, _, group, registration = platform
+        p.consent.grant("pt-1", group.group_id)
+        job = p.ingestion.upload(
+            "client-1", encrypt_bundle_for_upload(make_bundle(), registration),
+            group.group_id)
+        assert p.ingestion.status(job.job_id)[0] is IngestionStatus.UPLOADED
+        p.run_ingestion()
+        status, reason = p.ingestion.status(job.job_id)
+        assert status is IngestionStatus.STORED, reason
+        assert len(job.stored_record_ids) == 2  # original + anonymized
+
+    def test_unregistered_client_rejected(self, platform):
+        p, _, group, registration = platform
+        envelope = encrypt_bundle_for_upload(make_bundle(), registration)
+        with pytest.raises(AuthenticationError):
+            p.ingestion.upload("stranger", envelope, group.group_id)
+
+    def test_missing_consent_rejected(self, platform):
+        p, _, group, registration = platform
+        job = p.ingestion.upload(
+            "client-1", encrypt_bundle_for_upload(make_bundle(), registration),
+            group.group_id)
+        p.run_ingestion()
+        status, reason = p.ingestion.status(job.job_id)
+        assert status is IngestionStatus.REJECTED
+        assert "consent" in reason
+
+    def test_wrong_key_rejected(self, platform):
+        p, _, group, _ = platform
+        other = p.ingestion.register_client("client-2")
+        p.consent.grant("pt-1", group.group_id)
+        # Encrypted for client-2 but uploaded as client-1.
+        envelope = encrypt_bundle_for_upload(make_bundle(), other)
+        job = p.ingestion.upload("client-1", envelope, group.group_id)
+        p.run_ingestion()
+        status, reason = p.ingestion.status(job.job_id)
+        assert status is IngestionStatus.REJECTED
+        assert "decryption" in reason
+
+    def test_invalid_bundle_rejected(self, platform):
+        p, _, group, registration = platform
+        bad = Bundle(id="b-bad")
+        bad.add(Observation(id="o", code={"text": "x"},
+                            subject="Patient/ghost"))
+        job = p.ingestion.upload(
+            "client-1", encrypt_bundle_for_upload(bad, registration),
+            group.group_id)
+        p.run_ingestion()
+        status, reason = p.ingestion.status(job.job_id)
+        assert status is IngestionStatus.REJECTED
+        assert "validation" in reason
+
+    def test_malware_rejected_and_reported(self, platform):
+        p, _, group, registration = platform
+        p.consent.grant("pt-1", group.group_id)
+        payload = (make_bundle().to_json()
+                   + "EICAR-STANDARD-ANTIVIRUS-TEST-FILE").encode()
+        envelope = hybrid_encrypt(registration.public_key, payload)
+        job = p.ingestion.upload("client-1", envelope, group.group_id)
+        p.run_ingestion()
+        status, reason = p.ingestion.status(job.job_id)
+        assert status is IngestionStatus.REJECTED
+        assert "malware" in reason
+        report = p.blockchain.query("malware", "record_status",
+                                    record_id=job.job_id)
+        assert report["action"] == "dropped"
+
+    def test_provenance_chain_recorded(self, platform):
+        p, _, group, registration = platform
+        p.consent.grant("pt-1", group.group_id)
+        job = p.ingestion.upload(
+            "client-1", encrypt_bundle_for_upload(make_bundle(), registration),
+            group.group_id)
+        p.run_ingestion()
+        history = p.blockchain.query("provenance", "get_history",
+                                     handle=job.job_id)
+        assert [e["event"] for e in history] == [
+            "received", "validated", "deidentified", "stored"]
+
+    def test_stored_data_is_deidentified(self, platform):
+        p, _, group, registration = platform
+        p.consent.grant("pt-1", group.group_id)
+        job = p.ingestion.upload(
+            "client-1", encrypt_bundle_for_upload(make_bundle(), registration),
+            group.group_id)
+        p.run_ingestion()
+        anonymized_ids = job.stored_record_ids[1::2]
+        plaintext = p.datalake.retrieve(anonymized_ids[0])
+        assert b"Doe" not in plaintext
+        assert b"pt-1" not in plaintext
+
+    def test_privacy_level_recorded(self, platform):
+        p, _, group, registration = platform
+        p.consent.grant("pt-1", group.group_id)
+        job = p.ingestion.upload(
+            "client-1", encrypt_bundle_for_upload(make_bundle(), registration),
+            group.group_id)
+        p.run_ingestion()
+        level = p.blockchain.query("privacy", "record_level_of",
+                                   record_id=job.job_id)
+        assert level["passed"]
+
+    def test_stage_costs_accumulate(self, platform):
+        p, _, group, registration = platform
+        p.consent.grant("pt-1", group.group_id)
+        start = p.clock.now
+        job = p.ingestion.upload(
+            "client-1", encrypt_bundle_for_upload(make_bundle(), registration),
+            group.group_id)
+        p.run_ingestion()
+        assert p.clock.now > start
+        assert "stored" in job.stage_times
+
+
+class TestExport:
+    def _ingest_cohort(self, p, group, registration, n=8):
+        for i in range(n):
+            pid = f"pt-{i}"
+            p.consent.grant(pid, group.group_id)
+            bundle = make_bundle(patient_id=pid, bundle_id=f"b-{i}")
+            p.ingestion.upload(
+                "client-1", encrypt_bundle_for_upload(bundle, registration),
+                group.group_id)
+        p.run_ingestion()
+
+    def _grant_export_roles(self, p, context, user):
+        tenant_scope = Scope(ScopeKind.TENANT, context.tenant.tenant_id)
+        p.rbac.define_role("exporter", [
+            Permission(Action.READ, "anonymized-data", tenant_scope),
+            Permission(Action.READ, "phi-data", tenant_scope),
+        ])
+        p.rbac.bind_role(user.user_id, context.default_org.org_id,
+                         context.default_env.env_id, "exporter")
+
+    def test_anonymized_export(self, platform):
+        p, context, group, registration = platform
+        self._ingest_cohort(p, group, registration)
+        user = p.rbac.register_user(context.tenant.tenant_id, "cro-analyst")
+        self._grant_export_roles(p, context, user)
+        p.rbac.add_group_member(group.group_id, user.user_id)
+        export = p.export.export_anonymized(
+            user.user_id, group.group_id, context.default_org.org_id,
+            context.default_env.env_id)
+        assert len(export.bundles) == 8
+        assert export.achieved_k >= p.export.anonymity_k
+        for row in export.cohort_table:
+            assert row["patient_ref"].startswith("ref-")
+
+    def test_full_export_reidentifies(self, platform):
+        p, context, group, registration = platform
+        self._ingest_cohort(p, group, registration)
+        user = p.rbac.register_user(context.tenant.tenant_id, "cro-analyst")
+        self._grant_export_roles(p, context, user)
+        p.rbac.add_group_member(group.group_id, user.user_id)
+        export = p.export.export_full(
+            user.user_id, group.group_id, context.default_org.org_id,
+            context.default_env.env_id)
+        original_ids = {pid for pid, _ in export.records}
+        assert original_ids == {f"pt-{i}" for i in range(8)}
+
+    def test_full_export_blocked_without_rbac(self, platform):
+        p, context, group, registration = platform
+        self._ingest_cohort(p, group, registration)
+        user = p.rbac.register_user(context.tenant.tenant_id, "intruder")
+        with pytest.raises(AuthorizationError):
+            p.export.export_full(user.user_id, group.group_id,
+                                 context.default_org.org_id,
+                                 context.default_env.env_id)
+
+    def test_full_export_blocked_after_consent_revocation(self, platform):
+        p, context, group, registration = platform
+        self._ingest_cohort(p, group, registration)
+        user = p.rbac.register_user(context.tenant.tenant_id, "cro-analyst")
+        self._grant_export_roles(p, context, user)
+        p.rbac.add_group_member(group.group_id, user.user_id)
+        p.consent.revoke_all_for_patient("pt-3")
+        with pytest.raises(ConsentError):
+            p.export.export_full(user.user_id, group.group_id,
+                                 context.default_org.org_id,
+                                 context.default_env.env_id)
+
+    def test_export_empty_group(self, platform):
+        p, context, group, _ = platform
+        user = p.rbac.register_user(context.tenant.tenant_id, "cro-analyst")
+        self._grant_export_roles(p, context, user)
+        p.rbac.add_group_member(group.group_id, user.user_id)
+        with pytest.raises(ExportError):
+            p.export.export_anonymized(user.user_id, group.group_id,
+                                       context.default_org.org_id,
+                                       context.default_env.env_id)

@@ -1,0 +1,141 @@
+"""Tests for Safe-Harbor de-identification."""
+
+import pytest
+
+from repro.fhir.resources import Bundle, Observation, Patient
+from repro.privacy.deidentify import (
+    Deidentifier,
+    ReidentificationMap,
+    phi_identifiers_present,
+)
+
+SECRET = b"0123456789abcdef0123456789abcdef"
+
+
+def rich_patient():
+    return Patient(
+        id="pt-1",
+        name={"family": "Doe", "given": ["Jane"]},
+        birthDate="1980-03-12",
+        gender="female",
+        address={"line": "12 Main St", "city": "Boston", "state": "MA",
+                 "postalCode": "02115"},
+        telecom=[{"system": "phone", "value": "617-555-0100"}],
+        identifier=[{"system": "ssn", "value": "123-45-6789"}],
+    )
+
+
+@pytest.fixture
+def deidentifier():
+    return Deidentifier(SECRET)
+
+
+class TestPatientDeidentification:
+    def test_identifiers_removed(self, deidentifier):
+        clean = deidentifier.deidentify_patient(rich_patient(),
+                                                ReidentificationMap())
+        assert clean.name == {}
+        assert clean.telecom == []
+        assert clean.identifier == []
+        assert "line" not in clean.address
+        assert "postalCode" not in clean.address
+
+    def test_birthdate_reduced_to_year(self, deidentifier):
+        clean = deidentifier.deidentify_patient(rich_patient(),
+                                                ReidentificationMap())
+        assert clean.birthDate == "1980-01-01"
+
+    def test_state_retained(self, deidentifier):
+        clean = deidentifier.deidentify_patient(rich_patient(),
+                                                ReidentificationMap())
+        assert clean.address == {"state": "MA"}
+
+    def test_gender_retained(self, deidentifier):
+        clean = deidentifier.deidentify_patient(rich_patient(),
+                                                ReidentificationMap())
+        assert clean.gender == "female"
+
+    def test_reference_id_replaces_id(self, deidentifier):
+        mapping = ReidentificationMap()
+        clean = deidentifier.deidentify_patient(rich_patient(), mapping)
+        assert clean.id.startswith("ref-")
+        assert mapping.original_of(clean.id) == "pt-1"
+
+    def test_pseudonym_stable_across_bundles(self, deidentifier):
+        a = deidentifier.reference_id("pt-1")
+        b = deidentifier.reference_id("pt-1")
+        assert a == b
+
+    def test_pseudonym_secret_dependent(self):
+        d1 = Deidentifier(SECRET)
+        d2 = Deidentifier(b"another-secret-value-long-enough")
+        assert d1.reference_id("pt-1") != d2.reference_id("pt-1")
+
+    def test_short_secret_rejected(self):
+        with pytest.raises(ValueError):
+            Deidentifier(b"short")
+
+
+class TestBundleDeidentification:
+    def test_subjects_re_referenced(self, deidentifier):
+        bundle = Bundle(id="b1")
+        bundle.add(rich_patient())
+        bundle.add(Observation(id="o1", code={"text": "HbA1c"},
+                               subject="Patient/pt-1",
+                               effectiveDateTime="2024-01-15",
+                               valueQuantity={"value": 7.2}))
+        clean, mapping = deidentifier.deidentify_bundle(bundle)
+        patient_ref = deidentifier.reference_id("pt-1")
+        obs = clean.resources_of(Observation)[0]
+        assert obs.subject == f"Patient/{patient_ref}"
+
+    def test_clinical_dates_truncated_to_month(self, deidentifier):
+        bundle = Bundle(id="b1")
+        bundle.add(rich_patient())
+        bundle.add(Observation(id="o1", code={"text": "x"},
+                               subject="Patient/pt-1",
+                               effectiveDateTime="2024-01-15",
+                               valueQuantity={"value": 1.0}))
+        clean, _ = deidentifier.deidentify_bundle(bundle)
+        assert clean.resources_of(Observation)[0].effectiveDateTime == "2024-01"
+
+    def test_values_preserved(self, deidentifier):
+        bundle = Bundle(id="b1")
+        bundle.add(rich_patient())
+        bundle.add(Observation(id="o1", code={"text": "HbA1c"},
+                               subject="Patient/pt-1",
+                               valueQuantity={"value": 7.2, "unit": "%"}))
+        clean, _ = deidentifier.deidentify_bundle(bundle)
+        assert clean.resources_of(Observation)[0].valueQuantity == {
+            "value": 7.2, "unit": "%"}
+
+    def test_mapping_covers_every_resource(self, deidentifier):
+        bundle = Bundle(id="b1")
+        bundle.add(rich_patient())
+        bundle.add(Observation(id="o1", code={"text": "x"},
+                               subject="Patient/pt-1",
+                               valueQuantity={"value": 1.0}))
+        _, mapping = deidentifier.deidentify_bundle(bundle)
+        # bundle + patient + observation
+        assert len(mapping) == 3
+
+
+class TestResidualDetection:
+    def test_rich_patient_flags_everything(self):
+        found = phi_identifiers_present(rich_patient())
+        assert {"name", "telecom", "identifier", "full-birthdate",
+                "sub-state-geography"} <= set(found)
+
+    def test_clean_patient_flags_nothing(self, deidentifier):
+        clean = deidentifier.deidentify_patient(rich_patient(),
+                                                ReidentificationMap())
+        assert phi_identifiers_present(clean) == []
+
+    def test_direct_reference_flagged(self):
+        obs = Observation(id="o", code={"text": "x"}, subject="Patient/pt-1")
+        assert "direct-patient-reference" in phi_identifiers_present(obs)
+
+    def test_pseudonymous_reference_not_flagged(self):
+        obs = Observation(id="o", code={"text": "x"},
+                          subject="Patient/ref-abc123")
+        assert phi_identifiers_present(obs) == []

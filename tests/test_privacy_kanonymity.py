@@ -1,0 +1,115 @@
+"""Tests for k-anonymity, l-diversity, and re-identification risk."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AnonymizationError
+from repro.privacy.kanonymity import (
+    MondrianAnonymizer,
+    QuasiIdentifier,
+    achieved_k,
+    equivalence_classes,
+    generalize_age,
+    generalize_zip,
+    l_diversity,
+    reidentification_risk,
+)
+
+QIS = [QuasiIdentifier("age", numeric=True),
+       QuasiIdentifier("zip", numeric=False)]
+
+
+def cohort(n=60, seed=3):
+    rng = np.random.default_rng(seed)
+    return [{"age": int(rng.integers(20, 80)),
+             "zip": f"0211{int(rng.integers(0, 5))}",
+             "dx": rng.choice(["E11", "I10", "J45"])}
+            for _ in range(n)]
+
+
+class TestDiagnostics:
+    def test_achieved_k_identical_rows(self):
+        rows = [{"age": 30, "zip": "02115"}] * 4
+        assert achieved_k(rows, ["age", "zip"]) == 4
+
+    def test_achieved_k_unique_rows(self):
+        rows = [{"age": a, "zip": "02115"} for a in range(5)]
+        assert achieved_k(rows, ["age", "zip"]) == 1
+
+    def test_equivalence_classes(self):
+        rows = [{"age": 30}, {"age": 30}, {"age": 40}]
+        classes = equivalence_classes(rows, ["age"])
+        assert sorted(len(v) for v in classes.values()) == [1, 2]
+
+    def test_l_diversity(self):
+        rows = [{"age": 30, "dx": "E11"}, {"age": 30, "dx": "I10"},
+                {"age": 40, "dx": "E11"}, {"age": 40, "dx": "E11"}]
+        assert l_diversity(rows, ["age"], "dx") == 1  # the 40 class
+
+    def test_risk_bounds(self):
+        unique = [{"age": a} for a in range(10)]
+        assert reidentification_risk(unique, ["age"]) == pytest.approx(1.0)
+        uniform = [{"age": 30}] * 10
+        assert reidentification_risk(uniform, ["age"]) == pytest.approx(0.1)
+
+
+class TestMondrian:
+    def test_achieves_requested_k(self):
+        release = MondrianAnonymizer(QIS, k=5).anonymize(cohort())
+        assert release.achieved_k >= 5
+        assert achieved_k(release.rows, ["age", "zip"]) >= 5
+
+    def test_higher_k_fewer_classes(self):
+        rows = cohort(100)
+        k2 = MondrianAnonymizer(QIS, k=2).anonymize(rows)
+        k20 = MondrianAnonymizer(QIS, k=20).anonymize(rows)
+        assert len(k20.class_sizes) <= len(k2.class_sizes)
+
+    def test_sensitive_values_untouched(self):
+        rows = cohort(40)
+        release = MondrianAnonymizer(QIS, k=5).anonymize(rows)
+        assert sorted(r["dx"] for r in release.rows) == sorted(
+            r["dx"] for r in rows)
+
+    def test_row_count_preserved(self):
+        rows = cohort(40)
+        release = MondrianAnonymizer(QIS, k=5).anonymize(rows)
+        assert len(release.rows) == 40
+
+    def test_generalized_labels(self):
+        rows = [{"age": 20, "zip": "a"}, {"age": 30, "zip": "b"},
+                {"age": 40, "zip": "a"}, {"age": 50, "zip": "b"}]
+        release = MondrianAnonymizer(QIS, k=4).anonymize(rows)
+        assert release.rows[0]["age"] == "[20-50]"
+        assert release.rows[0]["zip"] == "{a,b}"
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(AnonymizationError):
+            MondrianAnonymizer(QIS, k=10).anonymize(cohort(5))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(AnonymizationError):
+            MondrianAnonymizer(QIS, k=0)
+
+    def test_no_qis_rejected(self):
+        with pytest.raises(AnonymizationError):
+            MondrianAnonymizer([], k=2)
+
+    def test_risk_decreases_with_k(self):
+        rows = cohort(120)
+        risk_raw = reidentification_risk(rows, ["age", "zip"])
+        release = MondrianAnonymizer(QIS, k=10).anonymize(rows)
+        risk_anon = reidentification_risk(release.rows, ["age", "zip"])
+        assert risk_anon < risk_raw
+
+
+class TestLadders:
+    def test_zip_ladder(self):
+        assert generalize_zip("02115", 0) == "02115"
+        assert generalize_zip("02115", 1) == "021**"
+        assert generalize_zip("02115", 2) == "*****"
+
+    def test_age_buckets(self):
+        assert generalize_age(37, 10) == "30-39"
+        assert generalize_age(37, 1) == "37"
+        assert generalize_age(93, 10) == "90+"

@@ -1,0 +1,142 @@
+"""Tests for the anonymization verification service and consent management."""
+
+import pytest
+
+from repro.cloudsim.clock import SimClock
+from repro.core.errors import AnonymizationError, ConsentError
+from repro.fhir.resources import Bundle, Observation, Patient
+from repro.privacy.consent import (
+    ConsentManagementService,
+    ConsentStatus,
+)
+from repro.privacy.deidentify import Deidentifier, ReidentificationMap
+from repro.privacy.verification import AnonymizationVerificationService
+
+SECRET = b"0123456789abcdef0123456789abcdef"
+
+
+def raw_patient():
+    return Patient(id="pt-1", name={"family": "Doe"}, birthDate="1980-03-12",
+                   gender="female",
+                   identifier=[{"system": "ssn", "value": "123"}])
+
+
+def clean_patient():
+    deidentifier = Deidentifier(SECRET)
+    return deidentifier.deidentify_patient(raw_patient(),
+                                           ReidentificationMap())
+
+
+class TestVerificationService:
+    def test_raw_patient_scores_low(self):
+        service = AnonymizationVerificationService()
+        degree, residual = service.independent_degree(raw_patient())
+        assert degree < 0.5
+        assert "name" in residual
+
+    def test_clean_patient_scores_one(self):
+        service = AnonymizationVerificationService()
+        degree, residual = service.independent_degree(clean_patient())
+        assert degree == 1.0
+        assert residual == []
+
+    def test_gating_on_independent_by_default(self):
+        service = AnonymizationVerificationService(minimum_degree=0.8)
+        assessment = service.assess_resource(clean_patient())
+        assert assessment.passed
+        assert assessment.holistic_degree < 1.0  # lone patient, informative
+
+    def test_holistic_gating_blocks_rare_profiles(self):
+        service = AnonymizationVerificationService(minimum_degree=0.8,
+                                                   target_k=5,
+                                                   holistic_gating=True)
+        assessment = service.assess_resource(clean_patient())
+        assert not assessment.passed
+
+    def test_holistic_improves_with_population(self):
+        service = AnonymizationVerificationService(target_k=3,
+                                                   holistic_gating=True)
+        patient = clean_patient()
+        first = service.holistic_degree(patient)
+        bundle = Bundle(id="b").add(patient)
+        service.admit(bundle)
+        service.admit(bundle)
+        later = service.holistic_degree(patient)
+        assert later > first
+        assert later == 1.0
+
+    def test_bundle_fails_on_weakest_resource(self):
+        service = AnonymizationVerificationService(minimum_degree=0.8)
+        bundle = Bundle(id="b")
+        bundle.add(clean_patient())
+        bundle.add(Observation(id="o", code={"text": "x"},
+                               subject="Patient/pt-raw"))
+        assessment = service.assess_bundle(bundle)
+        assert not assessment.passed
+        assert "direct-patient-reference" in assessment.residual_identifiers
+
+    def test_empty_bundle_rejected(self):
+        service = AnonymizationVerificationService()
+        with pytest.raises(AnonymizationError):
+            service.assess_bundle(Bundle(id="b"))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(AnonymizationError):
+            AnonymizationVerificationService(minimum_degree=1.5)
+        with pytest.raises(AnonymizationError):
+            AnonymizationVerificationService(target_k=0)
+
+
+class TestConsent:
+    def test_grant_and_check(self):
+        service = ConsentManagementService()
+        service.grant("pt-1", "study-a")
+        assert service.has_consent("pt-1", "study-a")
+        assert not service.has_consent("pt-1", "study-b")
+
+    def test_expiry(self):
+        clock = SimClock()
+        service = ConsentManagementService(clock)
+        service.grant("pt-1", "study-a", ttl_s=100.0)
+        clock.advance(101.0)
+        assert not service.has_consent("pt-1", "study-a")
+
+    def test_revocation(self):
+        service = ConsentManagementService()
+        record = service.grant("pt-1", "study-a")
+        service.revoke(record.consent_id)
+        assert not service.has_consent("pt-1", "study-a")
+        assert record.status_at(service.clock.now) is ConsentStatus.REVOKED
+
+    def test_revoke_unknown(self):
+        with pytest.raises(ConsentError):
+            ConsentManagementService().revoke("consent-ghost")
+
+    def test_revoke_all_for_patient(self):
+        service = ConsentManagementService()
+        service.grant("pt-1", "study-a")
+        service.grant("pt-1", "study-b")
+        service.grant("pt-2", "study-a")
+        assert service.revoke_all_for_patient("pt-1") == 2
+        assert not service.has_consent("pt-1", "study-a")
+        assert service.has_consent("pt-2", "study-a")
+
+    def test_require_consent_raises(self):
+        service = ConsentManagementService()
+        with pytest.raises(ConsentError):
+            service.require_consent("pt-1", "study-a")
+
+    def test_regrant_after_revocation(self):
+        service = ConsentManagementService()
+        record = service.grant("pt-1", "study-a")
+        service.revoke(record.consent_id)
+        service.grant("pt-1", "study-a")
+        assert service.has_consent("pt-1", "study-a")
+
+    def test_active_patients_in_group(self):
+        service = ConsentManagementService()
+        service.grant("pt-1", "study-a")
+        service.grant("pt-2", "study-a")
+        record = service.grant("pt-3", "study-a")
+        service.revoke(record.consent_id)
+        assert service.active_patients_in("study-a") == ["pt-1", "pt-2"]

@@ -1,0 +1,104 @@
+"""Property-based tests for the crypto substrate (hypothesis)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.crypto.merkle import MerkleTree, verify_proof
+from repro.crypto.redactable import (
+    RedactableSigner,
+    deterministic_rng,
+    redact,
+    verify_share,
+)
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.symmetric import Ciphertext, SharedKeyCipher, generate_key
+
+KEYPAIR = generate_keypair(bits=768, seed=4242)
+_NO_DEADLINE = settings(deadline=None,
+                        suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestAeadProperties:
+    @given(plaintext=st.binary(max_size=4096),
+           associated=st.binary(max_size=64),
+           key_seed=st.integers(0, 1000))
+    @_NO_DEADLINE
+    def test_roundtrip(self, plaintext, associated, key_seed):
+        cipher = SharedKeyCipher(generate_key(key_seed))
+        assert cipher.decrypt(cipher.encrypt(plaintext, associated),
+                              associated) == plaintext
+
+    @given(plaintext=st.binary(min_size=1, max_size=1024),
+           flip_index=st.integers(0, 10_000))
+    @_NO_DEADLINE
+    def test_any_bitflip_detected(self, plaintext, flip_index):
+        from repro.core.errors import IntegrityError
+        cipher = SharedKeyCipher(generate_key(1))
+        ciphertext = cipher.encrypt(plaintext)
+        raw = bytearray(ciphertext.to_bytes())
+        raw[flip_index % len(raw)] ^= 0x01
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(Ciphertext.from_bytes(bytes(raw)))
+
+    @given(plaintext=st.binary(max_size=512))
+    @_NO_DEADLINE
+    def test_serialization_stable(self, plaintext):
+        cipher = SharedKeyCipher(generate_key(2))
+        ciphertext = cipher.encrypt(plaintext)
+        assert Ciphertext.from_bytes(ciphertext.to_bytes()).to_bytes() == \
+            ciphertext.to_bytes()
+
+
+class TestMerkleProperties:
+    @given(leaves=st.lists(st.binary(max_size=64), min_size=1, max_size=40),
+           index=st.integers(0, 1000))
+    @_NO_DEADLINE
+    def test_every_leaf_provable(self, leaves, index):
+        tree = MerkleTree(leaves)
+        i = index % len(leaves)
+        assert verify_proof(tree.root, leaves[i], tree.proof(i))
+
+    @given(leaves=st.lists(st.binary(max_size=32), min_size=2, max_size=20,
+                           unique=True),
+           index=st.integers(0, 1000))
+    @_NO_DEADLINE
+    def test_proof_not_transferable(self, leaves, index):
+        tree = MerkleTree(leaves)
+        i = index % len(leaves)
+        j = (i + 1) % len(leaves)
+        # Leaf j's data cannot verify with leaf i's proof.
+        assert not verify_proof(tree.root, leaves[j], tree.proof(i))
+
+
+class TestRedactableProperties:
+    @given(fields=st.lists(st.binary(min_size=1, max_size=32),
+                           min_size=1, max_size=12),
+           disclosure_seed=st.integers(0, 2**16),
+           rng_seed=st.integers(0, 2**16))
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_subset_verifies(self, fields, disclosure_seed, rng_seed):
+        import random
+        signer = RedactableSigner(KEYPAIR, rng=deterministic_rng(rng_seed))
+        record = signer.sign(fields)
+        rng = random.Random(disclosure_seed)
+        subset = [i for i in range(len(fields)) if rng.random() < 0.5]
+        share = redact(record, subset)
+        assert verify_share(KEYPAIR.public_key(), share)
+        assert set(share.disclosed) == set(subset)
+
+    @given(fields=st.lists(st.binary(min_size=1, max_size=16),
+                           min_size=2, max_size=8),
+           rng_seed=st.integers(0, 2**16))
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_hidden_field_bytes_never_in_share(self, fields, rng_seed):
+        signer = RedactableSigner(KEYPAIR, rng=deterministic_rng(rng_seed))
+        record = signer.sign(fields)
+        share = redact(record, [0])  # hide everything but field 0
+        serialized = b"".join(share.commitments) + b"".join(
+            share.order_tokens) + share.signature
+        for hidden in fields[1:]:
+            if len(hidden) >= 8 and hidden not in fields[0]:
+                assert hidden not in serialized

@@ -1,0 +1,159 @@
+"""Tests for the RBAC model and decision engine."""
+
+import pytest
+
+from repro.core.errors import (
+    AlreadyExistsError,
+    AuthorizationError,
+    NotFoundError,
+)
+from repro.rbac.engine import RbacEngine
+from repro.rbac.model import Action, Permission, Scope, ScopeKind
+
+
+@pytest.fixture
+def world():
+    """Tenant with org, two environments, a study group, and two users."""
+    engine = RbacEngine()
+    tenant = engine.create_tenant("acme")
+    org = engine.create_organization(tenant.tenant_id, "research")
+    dev = engine.create_environment(org.org_id, "dev")
+    prod = engine.create_environment(org.org_id, "prod", kind="production")
+    group = engine.create_group(tenant.tenant_id, "diabetes-study")
+    alice = engine.register_user(tenant.tenant_id, "alice")
+    bob = engine.register_user(tenant.tenant_id, "bob")
+    return engine, tenant, org, dev, prod, group, alice, bob
+
+
+class TestEntities:
+    def test_tenant_tracks_orgs_and_users(self, world):
+        engine, tenant, org, *_ = world
+        assert org.org_id in tenant.organization_ids
+        assert len(tenant.user_ids) == 2
+
+    def test_environment_belongs_to_org(self, world):
+        engine, _, org, dev, *_ = world
+        assert dev.env_id in org.environment_ids
+
+    def test_duplicate_role_rejected(self, world):
+        engine = world[0]
+        engine.define_role("r", [])
+        with pytest.raises(AlreadyExistsError):
+            engine.define_role("r", [])
+
+    def test_unknown_tenant(self):
+        engine = RbacEngine()
+        with pytest.raises(NotFoundError):
+            engine.create_organization("tenant-none", "x")
+
+
+class TestDecisions:
+    def test_org_scoped_permission(self, world):
+        engine, _, org, dev, _, _, alice, _ = world
+        scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        engine.define_role("reader", [Permission(Action.READ, "data", scope)])
+        engine.bind_role(alice.user_id, org.org_id, dev.env_id, "reader")
+        assert engine.check(alice.user_id, Action.READ, "data", scope,
+                            org.org_id, dev.env_id).allowed
+
+    def test_action_mismatch_denied(self, world):
+        engine, _, org, dev, _, _, alice, _ = world
+        scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        engine.define_role("reader", [Permission(Action.READ, "data", scope)])
+        engine.bind_role(alice.user_id, org.org_id, dev.env_id, "reader")
+        assert not engine.check(alice.user_id, Action.WRITE, "data", scope,
+                                org.org_id, dev.env_id).allowed
+
+    def test_resource_type_mismatch_denied(self, world):
+        engine, _, org, dev, _, _, alice, _ = world
+        scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        engine.define_role("reader", [Permission(Action.READ, "data", scope)])
+        engine.bind_role(alice.user_id, org.org_id, dev.env_id, "reader")
+        assert not engine.check(alice.user_id, Action.READ, "models", scope,
+                                org.org_id, dev.env_id).allowed
+
+    def test_roles_are_per_environment(self, world):
+        engine, _, org, dev, prod, _, alice, _ = world
+        scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        engine.define_role("reader", [Permission(Action.READ, "data", scope)])
+        engine.bind_role(alice.user_id, org.org_id, dev.env_id, "reader")
+        assert not engine.check(alice.user_id, Action.READ, "data", scope,
+                                org.org_id, prod.env_id).allowed
+
+    def test_tenant_scope_covers_org(self, world):
+        engine, tenant, org, dev, _, _, alice, _ = world
+        tenant_scope = Scope(ScopeKind.TENANT, tenant.tenant_id)
+        engine.define_role("admin",
+                           [Permission(Action.WRITE, "data", tenant_scope)])
+        engine.bind_role(alice.user_id, org.org_id, dev.env_id, "admin")
+        org_scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        assert engine.check(alice.user_id, Action.WRITE, "data", org_scope,
+                            org.org_id, dev.env_id).allowed
+
+    def test_org_scope_does_not_cover_tenant(self, world):
+        engine, tenant, org, dev, _, _, alice, _ = world
+        org_scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        engine.define_role("local",
+                           [Permission(Action.WRITE, "data", org_scope)])
+        engine.bind_role(alice.user_id, org.org_id, dev.env_id, "local")
+        tenant_scope = Scope(ScopeKind.TENANT, tenant.tenant_id)
+        assert not engine.check(alice.user_id, Action.WRITE, "data",
+                                tenant_scope, org.org_id, dev.env_id).allowed
+
+    def test_group_phi_requires_membership(self, world):
+        engine, tenant, org, dev, _, group, alice, _ = world
+        tenant_scope = Scope(ScopeKind.TENANT, tenant.tenant_id)
+        engine.define_role("phi-reader",
+                           [Permission(Action.READ, "phi", tenant_scope)])
+        engine.bind_role(alice.user_id, org.org_id, dev.env_id, "phi-reader")
+        group_scope = Scope(ScopeKind.GROUP, group.group_id)
+        # Role alone is not enough for a study group's PHI...
+        assert not engine.check(alice.user_id, Action.READ, "phi",
+                                group_scope, org.org_id, dev.env_id).allowed
+        # ...membership plus the role is.
+        engine.add_group_member(group.group_id, alice.user_id)
+        assert engine.check(alice.user_id, Action.READ, "phi", group_scope,
+                            org.org_id, dev.env_id).allowed
+
+    def test_require_raises_on_denial(self, world):
+        engine, _, org, dev, _, _, _, bob = world
+        scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        with pytest.raises(AuthorizationError):
+            engine.require(bob.user_id, Action.READ, "data", scope,
+                           org.org_id, dev.env_id)
+
+    def test_decision_log_grows(self, world):
+        engine, _, org, dev, _, _, alice, _ = world
+        scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        engine.check(alice.user_id, Action.READ, "data", scope,
+                     org.org_id, dev.env_id)
+        assert len(engine.decision_log()) == 1
+
+    def test_granted_by_records_role(self, world):
+        engine, _, org, dev, _, _, alice, _ = world
+        scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        engine.define_role("reader", [Permission(Action.READ, "data", scope)])
+        engine.bind_role(alice.user_id, org.org_id, dev.env_id, "reader")
+        decision = engine.check(alice.user_id, Action.READ, "data", scope,
+                                org.org_id, dev.env_id)
+        assert decision.granted_by == "reader"
+
+    def test_bind_role_validates_env(self, world):
+        engine, _, org, _, _, _, alice, _ = world
+        engine.define_role("r", [])
+        with pytest.raises(NotFoundError):
+            engine.bind_role(alice.user_id, org.org_id, "env-none", "r")
+
+    def test_bind_unknown_role(self, world):
+        engine, _, org, dev, _, _, alice, _ = world
+        with pytest.raises(NotFoundError):
+            engine.bind_role(alice.user_id, org.org_id, dev.env_id, "ghost")
+
+    def test_unbind_role(self, world):
+        engine, _, org, dev, _, _, alice, _ = world
+        scope = Scope(ScopeKind.ORGANIZATION, org.org_id)
+        engine.define_role("reader", [Permission(Action.READ, "data", scope)])
+        engine.bind_role(alice.user_id, org.org_id, dev.env_id, "reader")
+        alice.unbind_role(org.org_id, dev.env_id, "reader")
+        assert not engine.check(alice.user_id, Action.READ, "data", scope,
+                                org.org_id, dev.env_id).allowed

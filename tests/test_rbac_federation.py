@@ -1,0 +1,80 @@
+"""Tests for federated identity management."""
+
+import dataclasses
+
+import pytest
+
+from repro.cloudsim.clock import SimClock
+from repro.core.errors import AuthenticationError, NotFoundError
+from repro.rbac.engine import RbacEngine
+from repro.rbac.federation import (
+    ExternalIdentityProvider,
+    FederatedIdentityService,
+)
+
+
+@pytest.fixture
+def federation():
+    clock = SimClock()
+    engine = RbacEngine()
+    tenant = engine.create_tenant("acme")
+    user = engine.register_user(tenant.tenant_id, "alice",
+                                external_identity="alice@hospital.org")
+    idp = ExternalIdentityProvider("hospital-idp", b"idp-secret-key", clock)
+    service = FederatedIdentityService(engine, clock)
+    service.approve_idp("hospital-idp", b"idp-secret-key")
+    service.link_identity("hospital-idp", "alice@hospital.org", user.user_id)
+    return clock, idp, service, user
+
+
+class TestFederation:
+    def test_valid_token_authenticates(self, federation):
+        _, idp, service, user = federation
+        token = idp.issue_token("alice@hospital.org")
+        assert service.authenticate(token).user_id == user.user_id
+
+    def test_unapproved_idp_rejected(self, federation):
+        clock, _, service, _ = federation
+        rogue = ExternalIdentityProvider("rogue-idp", b"rogue-secret", clock)
+        with pytest.raises(AuthenticationError):
+            service.authenticate(rogue.issue_token("alice@hospital.org"))
+
+    def test_forged_signature_rejected(self, federation):
+        clock, _, service, _ = federation
+        # Same issuer name, wrong secret -> signature check fails.
+        imposter = ExternalIdentityProvider("hospital-idp", b"wrong-secret",
+                                            clock)
+        with pytest.raises(AuthenticationError):
+            service.authenticate(imposter.issue_token("alice@hospital.org"))
+
+    def test_expired_token_rejected(self, federation):
+        clock, idp, service, _ = federation
+        token = idp.issue_token("alice@hospital.org", ttl_s=10.0)
+        clock.advance(11.0)
+        with pytest.raises(AuthenticationError):
+            service.authenticate(token)
+
+    def test_unlinked_subject_rejected(self, federation):
+        _, idp, service, _ = federation
+        token = idp.issue_token("mallory@hospital.org")
+        with pytest.raises(AuthenticationError):
+            service.authenticate(token)
+
+    def test_tampered_subject_rejected(self, federation):
+        _, idp, service, _ = federation
+        token = idp.issue_token("alice@hospital.org")
+        tampered = dataclasses.replace(token, subject="admin@hospital.org")
+        with pytest.raises(AuthenticationError):
+            service.authenticate(tampered)
+
+    def test_revoked_idp_rejected(self, federation):
+        _, idp, service, _ = federation
+        token = idp.issue_token("alice@hospital.org")
+        service.revoke_idp("hospital-idp")
+        with pytest.raises(AuthenticationError):
+            service.authenticate(token)
+
+    def test_link_requires_registered_user(self, federation):
+        _, _, service, _ = federation
+        with pytest.raises(NotFoundError):
+            service.link_identity("hospital-idp", "x@y", "user-ghost")

@@ -1,0 +1,120 @@
+"""Tests for the external AI service registry."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, ServiceUnavailableError
+from repro.services.registry import ServiceRegistry, SimulatedAiService
+
+
+def make_registry():
+    registry = ServiceRegistry()
+    registry.register(SimulatedAiService(
+        "ibm-nlu", "text-extraction", mean_latency_s=0.05,
+        availability=0.99, accuracy=0.95, seed=1))
+    registry.register(SimulatedAiService(
+        "acme-nlu", "text-extraction", mean_latency_s=0.02,
+        availability=0.95, accuracy=0.70, seed=2))
+    registry.register(SimulatedAiService(
+        "flaky-nlu", "text-extraction", mean_latency_s=0.01,
+        availability=0.40, accuracy=0.55, seed=3))
+    registry.register(SimulatedAiService(
+        "vision-1", "visual-recognition", mean_latency_s=0.1,
+        availability=0.99, accuracy=0.9, seed=4))
+    return registry
+
+
+TEST_SET = [(f"doc-{i}", f"fact-{i}") for i in range(40)]
+
+
+class TestRegistry:
+    def test_services_for_capability(self):
+        registry = make_registry()
+        assert registry.services_for("text-extraction") == [
+            "acme-nlu", "flaky-nlu", "ibm-nlu"]
+        assert registry.services_for("visual-recognition") == ["vision-1"]
+
+    def test_duplicate_registration_rejected(self):
+        registry = make_registry()
+        with pytest.raises(ConfigurationError):
+            registry.register(SimulatedAiService("ibm-nlu", "x", 0.1, 1, 1))
+
+    def test_invoke_advances_clock(self):
+        registry = make_registry()
+        registry.invoke("ibm-nlu", "hello")
+        assert registry.clock.now > 0
+
+    def test_unavailable_service_raises_and_recorded(self):
+        registry = make_registry()
+        failures = 0
+        for _ in range(30):
+            try:
+                registry.invoke("flaky-nlu", "x")
+            except ServiceUnavailableError:
+                failures += 1
+        assert failures > 5
+        card = registry.scorecard("flaky-nlu")
+        assert card.failures == failures
+        assert card.measured_availability < 0.9
+
+
+class TestAccuracyTests:
+    def test_accuracy_measured(self):
+        registry = make_registry()
+        good = registry.run_accuracy_test("ibm-nlu", TEST_SET)
+        bad = registry.run_accuracy_test("acme-nlu", TEST_SET)
+        assert good > bad
+        assert registry.scorecard("ibm-nlu").measured_accuracy == good
+
+    def test_empty_test_set_rejected(self):
+        registry = make_registry()
+        with pytest.raises(ConfigurationError):
+            registry.run_accuracy_test("ibm-nlu", [])
+
+
+class TestFeedback:
+    def test_feedback_with_caveat(self):
+        registry = make_registry()
+        registry.record_feedback("ibm-nlu", 5)
+        registry.record_feedback("ibm-nlu", 4)
+        scores, caveat = registry.feedback_for("ibm-nlu")
+        assert scores == [5, 4]
+        assert "caution" in caveat
+
+    def test_invalid_score(self):
+        registry = make_registry()
+        with pytest.raises(ConfigurationError):
+            registry.record_feedback("ibm-nlu", 6)
+
+    def test_mean_feedback(self):
+        registry = make_registry()
+        registry.record_feedback("ibm-nlu", 5)
+        registry.record_feedback("ibm-nlu", 3)
+        assert registry.scorecard("ibm-nlu").mean_feedback == 4.0
+
+
+class TestSelection:
+    def test_best_service_prefers_accurate_available(self):
+        registry = make_registry()
+        for name in registry.services_for("text-extraction"):
+            registry.run_accuracy_test(name, TEST_SET)
+        best = registry.best_service("text-extraction")
+        assert best == "ibm-nlu"
+
+    def test_accuracy_weight_zero_prefers_fast(self):
+        registry = make_registry()
+        for name in ("ibm-nlu", "acme-nlu"):
+            registry.run_accuracy_test(name, TEST_SET)
+        best = registry.best_service("text-extraction",
+                                     latency_weight=1.0,
+                                     availability_weight=0.0,
+                                     accuracy_weight=0.0)
+        assert best in ("acme-nlu", "flaky-nlu")  # the fast ones
+
+    def test_no_services_for_capability(self):
+        registry = make_registry()
+        with pytest.raises(ConfigurationError):
+            registry.best_service("speech")
+
+    def test_bad_service_config(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedAiService("x", "y", 0.1, availability=1.5, accuracy=0.5)

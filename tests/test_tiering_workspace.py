@@ -1,0 +1,211 @@
+"""Tests for privacy-tiered storage routing and the analysis workspace."""
+
+import pytest
+
+from repro.analytics.workspace import AnalysisWorkspace
+from repro.core.errors import (
+    ComplianceError,
+    ModelLifecycleError,
+    NotFoundError,
+)
+from repro.crypto.kms import KeyManagementService
+from repro.fhir.resources import Bundle, Observation, Patient
+from repro.ingestion.datalake import DataLake
+from repro.ingestion.tiering import (
+    ANALYTICS_TIER,
+    CONFIDENTIAL_TIER,
+    DataClassification,
+    TieredStorageRouter,
+    classify_bundle,
+)
+from repro.privacy.deidentify import Deidentifier, ReidentificationMap
+
+
+@pytest.fixture
+def router():
+    return TieredStorageRouter(DataLake(KeyManagementService("t", seed=3)))
+
+
+def phi_bundle():
+    return Bundle(id="b").add(
+        Patient(id="pt-1", name={"family": "Doe"}, birthDate="1980-03-12",
+                gender="female"))
+
+
+def deidentified_bundle():
+    deidentifier = Deidentifier(b"tier-test-secret-0123456789")
+    clean = deidentifier.deidentify_patient(
+        Patient(id="pt-1", name={"family": "Doe"}, birthDate="1980-03-12",
+                gender="female"), ReidentificationMap())
+    bundle = Bundle(id="b2").add(clean)
+    bundle.add(Observation(id="o", code={"text": "x"},
+                           subject=f"Patient/{clean.id}",
+                           valueQuantity={"value": 1.0}))
+    return bundle
+
+
+class TestClassification:
+    def test_identified_patient_is_phi(self):
+        assert classify_bundle(phi_bundle()) is DataClassification.PHI
+
+    def test_pseudonymous_is_deidentified(self):
+        assert classify_bundle(
+            deidentified_bundle()) is DataClassification.DEIDENTIFIED
+
+    def test_no_clinical_content_is_internal(self):
+        from repro.fhir.resources import Practitioner
+        bundle = Bundle(id="b3").add(
+            Practitioner(id="dr-1", name={"family": "House"}))
+        assert classify_bundle(bundle) is DataClassification.INTERNAL
+
+
+class TestRouting:
+    def test_phi_routes_to_confidential_server(self, router):
+        placement = router.place_bundle(phi_bundle(), patient_ref="ref-x")
+        assert placement.tier == CONFIDENTIAL_TIER.name
+        assert placement.record is not None
+        # Confidential tier stores ciphertext only.
+        assert b"Doe" not in placement.record.ciphertext
+
+    def test_deidentified_routes_to_analytics_server(self, router):
+        placement = router.place_bundle(deidentified_bundle(),
+                                        patient_ref="ref-x")
+        assert placement.tier == ANALYTICS_TIER.name
+        assert placement.key is not None
+        assert router.read_analytics(placement.key)
+
+    def test_phi_refused_on_analytics_tier(self, router):
+        with pytest.raises(ComplianceError):
+            router.place_on_analytics_tier(b"raw phi",
+                                           DataClassification.PHI)
+
+    def test_only_analytics_tier_cacheable(self, router):
+        analytics = router.place_bundle(deidentified_bundle(), "ref-a")
+        confidential = router.place_bundle(phi_bundle(), "ref-b")
+        assert router.is_cacheable(analytics.key)
+        assert confidential.key is None  # nothing cacheable to hand out
+
+    def test_tier_policies(self, router):
+        confidential = router.place_bundle(phi_bundle(), "ref-b")
+        policy = router.tier_of(confidential)
+        assert policy.requires_encryption
+        assert not policy.cacheable
+
+    def test_inventory(self, router):
+        router.place_on_analytics_tier(b"kb data",
+                                       DataClassification.PUBLIC)
+        router.place_on_analytics_tier(b"aggregate",
+                                       DataClassification.INTERNAL)
+        inventory = router.analytics_inventory()
+        assert len(inventory) == 2
+        assert {c for _, c in inventory} == {DataClassification.PUBLIC,
+                                             DataClassification.INTERNAL}
+
+    def test_missing_key(self, router):
+        with pytest.raises(NotFoundError):
+            router.read_analytics("an-404")
+
+
+class TestTieringProperties:
+    def test_phi_never_reaches_analytics_tier(self, router):
+        """Property: however a PHI bundle arrives, it lands encrypted on
+        the confidential server and never in the cacheable store."""
+        import numpy as np
+        rng = np.random.default_rng(9)
+        for i in range(25):
+            patient = Patient(
+                id=f"pt-{i}",
+                name={"family": f"Fam{i}"} if rng.random() < 0.7 else {},
+                birthDate=f"19{50 + int(rng.integers(40))}-03-1{int(rng.integers(10))}"
+                if rng.random() < 0.8 else None,
+                gender="female",
+                identifier=([{"value": "ssn"}] if rng.random() < 0.5
+                            else []),
+            )
+            bundle = Bundle(id=f"b{i}").add(patient)
+            placement = router.place_bundle(bundle, patient_ref=f"ref-{i}")
+            if classify_bundle(bundle) is DataClassification.PHI:
+                assert placement.tier == CONFIDENTIAL_TIER.name
+                assert placement.key is None
+        # Nothing PHI-classified ever appears in the analytics inventory.
+        for _, classification in router.analytics_inventory():
+            assert classification is not DataClassification.PHI
+
+
+class TestWorkspace:
+    def _workspace(self):
+        workspace = AnalysisWorkspace("delt-study")
+        workspace.add_cell("load", lambda ns: list(range(10)))
+        workspace.add_cell("clean", lambda ns: [x for x in ns["load"]
+                                                if x % 2 == 0])
+        workspace.add_cell("stats", lambda ns: sum(ns["clean"]))
+        return workspace
+
+    def test_cells_share_namespace(self):
+        workspace = self._workspace()
+        workspace.run_all()
+        assert workspace.namespace["stats"] == 20
+
+    def test_execution_log(self):
+        workspace = self._workspace()
+        log = workspace.run_all()
+        assert [e.name for e in log] == ["load", "clean", "stats"]
+        assert all(e.output_hash for e in log)
+
+    def test_run_single_cell(self):
+        workspace = self._workspace()
+        workspace.run_all()
+        execution = workspace.run_cell(2)
+        assert execution.name == "stats"
+
+    def test_unknown_cell(self):
+        with pytest.raises(NotFoundError):
+            self._workspace().run_cell(9)
+
+    def test_reproducibility_check_passes_for_deterministic(self):
+        assert self._workspace().reproducibility_check()
+
+    def test_reproducibility_check_fails_for_nondeterministic(self):
+        workspace = AnalysisWorkspace("flaky")
+        state = {"n": 0}
+
+        def impure(ns):
+            state["n"] += 1
+            return state["n"]
+
+        workspace.add_cell("impure", impure)
+        assert not workspace.reproducibility_check()
+
+    def test_artifact_versioning(self):
+        workspace = self._workspace()
+        v1 = workspace.commit_artifact("model", b"weights-v1", "initial")
+        v2 = workspace.commit_artifact("model", b"weights-v2", "retrained")
+        assert v2.parent_hash == v1.commit_hash
+        assert workspace.checkout("model") == b"weights-v2"
+        assert workspace.checkout("model", version=1) == b"weights-v1"
+        assert [v.message for v in workspace.log("model")] == [
+            "initial", "retrained"]
+
+    def test_history_verification(self):
+        workspace = self._workspace()
+        workspace.commit_artifact("model", b"w1", "a")
+        workspace.commit_artifact("model", b"w2", "b")
+        assert workspace.verify_history("model")
+
+    def test_history_tamper_detected(self):
+        import dataclasses
+        workspace = self._workspace()
+        workspace.commit_artifact("model", b"w1", "a")
+        workspace.commit_artifact("model", b"w2", "b")
+        history = workspace._artifacts["model"]
+        history[0] = dataclasses.replace(history[0], message="forged")
+        with pytest.raises(ModelLifecycleError):
+            workspace.verify_history("model")
+
+    def test_checkout_missing(self):
+        workspace = self._workspace()
+        with pytest.raises(NotFoundError):
+            workspace.checkout("ghost")
+        workspace.commit_artifact("model", b"w", "a")
+        with pytest.raises(NotFoundError):
+            workspace.checkout("model", version=5)

@@ -5,7 +5,12 @@ provenance/consent/malware/privacy chaincodes, self-sovereign identity,
 the auditor view, and the centralized-DB baseline it is compared against.
 """
 
-from .audit import AuditFinding, AuditorView, CentralizedProvenanceDb
+from .audit import (
+    AuditFinding,
+    AuditorView,
+    CentralizedProvenanceDb,
+    ProvenanceEvent,
+)
 from .chaincode import (
     Chaincode,
     ConsentContract,
@@ -13,6 +18,7 @@ from .chaincode import (
     PrivacyContract,
     ProvenanceContract,
     WorldState,
+    provenance_event_leaf,
 )
 from .identity import (
     MemberIdentity,
@@ -33,6 +39,8 @@ __all__ = [
     "AuditFinding",
     "AuditorView",
     "CentralizedProvenanceDb",
+    "ProvenanceEvent",
+    "provenance_event_leaf",
     "Chaincode",
     "ConsentContract",
     "MalwareContract",
@@ -58,7 +66,7 @@ __all__ = [
 
 def standard_network(seed: int = 0, batch_size: int = 10,
                      policy: "EndorsementPolicy" = None,
-                     clock=None) -> BlockchainNetwork:
+                     clock=None, monitoring=None) -> BlockchainNetwork:
     """Build the reference HCLS network of Fig. 6.
 
     Parties: sender org, healthcare provider, data-protection service, and
@@ -71,6 +79,7 @@ def standard_network(seed: int = 0, batch_size: int = 10,
         policy=policy if policy is not None else EndorsementPolicy(2, 2),
         batch_size=batch_size,
         clock=clock,
+        monitoring=monitoring,
     )
     contracts = {
         "provenance": ProvenanceContract(),

@@ -14,10 +14,12 @@ tamper-evidence head-to-head.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..core.errors import LedgerError
+from ..crypto.merkle import MerkleProof, MerkleTree, verify_proof
+from .chaincode import provenance_event_leaf
 from .ledger import Transaction
 from .network import BlockchainNetwork
 
@@ -32,6 +34,28 @@ class AuditFinding:
     method: str
     submitter: str
     args: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """One provenance event, whether it landed alone or inside a batch.
+
+    For Merkle-batched events, ``batch_id``/``leaf_index``/``merkle_root``
+    locate the event inside its endorsed batch transaction so an inclusion
+    proof can be fetched and verified; for legacy single-event transactions
+    they are ``None`` (the endorsed transaction payload *is* the event).
+    """
+
+    tx_id: str
+    block_height: int
+    handle: str
+    event: str
+    data_hash: str
+    actor: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    batch_id: Optional[str] = None
+    leaf_index: Optional[int] = None
+    merkle_root: Optional[str] = None
 
 
 class AuditorView:
@@ -70,6 +94,93 @@ class AuditorView:
     def record_history(self, handle: str) -> List[Dict[str, Any]]:
         """Provenance event chain of a data record, via chaincode query."""
         return self._network.query("provenance", "get_history", handle=handle)
+
+    def search_events(self, handle: Optional[str] = None,
+                      event: Optional[str] = None,
+                      actor: Optional[str] = None) -> List[ProvenanceEvent]:
+        """Per-event provenance search directly over the committed ledger.
+
+        Unlike :meth:`search`, which matches whole transactions, this
+        unpacks Merkle-batched provenance transactions so every per-stage
+        event stays individually queryable regardless of how it was
+        submitted.
+        """
+        found: List[ProvenanceEvent] = []
+        for block in self._ledger().blocks():
+            for tx in block.transactions:
+                if tx.chaincode != "provenance":
+                    continue
+                if tx.method == "record_event":
+                    entries = [(None, None, None, tx.args)]
+                elif tx.method == "record_batch":
+                    entries = [
+                        (tx.args.get("batch_id"), i,
+                         tx.args.get("merkle_root"), entry)
+                        for i, entry in enumerate(tx.args.get("events", []))]
+                else:
+                    continue
+                for batch_id, leaf, root, entry in entries:
+                    if handle is not None and entry.get("handle") != handle:
+                        continue
+                    if event is not None and entry.get("event") != event:
+                        continue
+                    if actor is not None and entry.get("actor") != actor:
+                        continue
+                    found.append(ProvenanceEvent(
+                        tx_id=tx.tx_id, block_height=block.height,
+                        handle=entry.get("handle"), event=entry.get("event"),
+                        data_hash=entry.get("data_hash"),
+                        actor=entry.get("actor"),
+                        metadata=dict(entry.get("metadata") or {}),
+                        batch_id=batch_id, leaf_index=leaf, merkle_root=root))
+        return found
+
+    def event_proof(self, finding: ProvenanceEvent) -> Optional[MerkleProof]:
+        """Merkle inclusion proof for a batched event.
+
+        Rebuilds the batch's tree from the committed transaction and
+        returns the authentication path for the event's leaf; ``None`` for
+        legacy single-event transactions, which need no inclusion proof.
+        """
+        if finding.batch_id is None or finding.leaf_index is None:
+            return None
+        located = self._ledger().transaction_location(finding.tx_id)
+        if located is None:
+            return None
+        tx, _ = located
+        events = tx.args.get("events", [])
+        if finding.leaf_index >= len(events):
+            return None
+        tree = MerkleTree([provenance_event_leaf(e) for e in events])
+        return tree.proof(finding.leaf_index)
+
+    def verify_event(self, finding: ProvenanceEvent) -> bool:
+        """Check an event's integrity anchor on the committed ledger.
+
+        Batched events verify their Merkle inclusion proof against the
+        endorsed batch root; legacy single events verify that their
+        endorsed transaction is still on a chain that re-validates.  Either
+        way a mutated event fails.
+        """
+        located = self._ledger().transaction_location(finding.tx_id)
+        if located is None:
+            return False
+        tx, _ = located
+        if finding.batch_id is None:
+            return tx.args.get("handle") == finding.handle and \
+                tx.args.get("event") == finding.event and \
+                tx.args.get("data_hash") == finding.data_hash
+        events = tx.args.get("events", [])
+        if finding.leaf_index is None or finding.leaf_index >= len(events):
+            return False
+        if finding.merkle_root != tx.args.get("merkle_root"):
+            return False
+        proof = self.event_proof(finding)
+        if proof is None:
+            return False
+        leaf = provenance_event_leaf(events[finding.leaf_index])
+        return verify_proof(bytes.fromhex(tx.args["merkle_root"]),
+                            leaf, proof)
 
     def verify_integrity(self) -> bool:
         """Re-verify the full chain on every peer; True iff all consistent."""

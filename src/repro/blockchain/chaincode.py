@@ -26,6 +26,22 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..core.errors import LedgerError, ValidationError
+from ..crypto.merkle import MerkleTree
+
+
+def provenance_event_leaf(event: Dict[str, Any]) -> bytes:
+    """Canonical leaf bytes for one event inside a Merkle-batched
+    provenance transaction.
+
+    Submitters, endorsing peers, and auditors must all derive the same
+    leaf from the same event, so the encoding is a fixed field list in
+    canonical JSON — extra keys cannot be smuggled past the root check.
+    """
+    return json.dumps(
+        {"handle": event["handle"], "data_hash": event["data_hash"],
+         "event": event["event"], "actor": event["actor"],
+         "metadata": dict(event.get("metadata") or {})},
+        sort_keys=True, separators=(",", ":")).encode()
 
 
 class WorldState:
@@ -94,10 +110,54 @@ class ProvenanceContract(Chaincode):
         state.put(key, events)
         return entry["seq"]
 
+    def invoke_record_batch(self, state: WorldState, *, batch_id: str,
+                            merkle_root: str,
+                            events: List[Dict[str, Any]]) -> List[int]:
+        """Commit a Merkle-batched set of events in one transaction.
+
+        The fast path for high-rate submitters: one endorsed transaction
+        carries a whole batch of per-stage events under their Merkle root.
+        Endorsing peers recompute the root during simulation, so a batch
+        whose root does not commit to its events never gets endorsed.
+        Every event still lands on its handle's chain (individually
+        queryable), tagged with the batch id and leaf index so auditors
+        can fetch an inclusion proof against the endorsed root.
+        """
+        if not events:
+            raise ValidationError("provenance batch must contain events")
+        tree = MerkleTree([provenance_event_leaf(e) for e in events])
+        if tree.root.hex() != merkle_root:
+            raise ValidationError(
+                f"provenance batch {batch_id!r}: Merkle root mismatch")
+        batch_key = f"provbatch/{batch_id}"
+        if state.get(batch_key) is not None:
+            raise ValidationError(
+                f"provenance batch {batch_id!r} already recorded")
+        sequences: List[int] = []
+        for leaf_index, event in enumerate(events):
+            if event["event"] not in self.EVENT_KINDS:
+                raise ValidationError(
+                    f"unknown provenance event {event['event']!r}")
+            key = f"prov/{event['handle']}"
+            chain: List[Dict[str, Any]] = state.get(key) or []
+            entry = {"seq": len(chain), "event": event["event"],
+                     "hash": event["data_hash"], "actor": event["actor"],
+                     "meta": {**dict(event.get("metadata") or {}),
+                              "batch": batch_id, "leaf": leaf_index}}
+            state.put(key, chain + [entry])
+            sequences.append(entry["seq"])
+        state.put(batch_key, {"root": merkle_root, "size": len(events)})
+        return sequences
+
     def invoke_get_history(self, state: WorldState, *,
                            handle: str) -> List[Dict[str, Any]]:
         """Full event chain of one record."""
         return list(state.get(f"prov/{handle}") or [])
+
+    def invoke_get_batch(self, state: WorldState, *,
+                         batch_id: str) -> Optional[Dict[str, Any]]:
+        """Root and size of one committed batch."""
+        return state.get(f"provbatch/{batch_id}")
 
     def invoke_verify_hash(self, state: WorldState, *, handle: str,
                            data_hash: str) -> bool:
@@ -180,6 +240,24 @@ class PrivacyContract(Chaincode):
         if not passed:
             counter_key = f"privacy/sender-failures/{sender}"
             state.put(counter_key, (state.get(counter_key) or 0) + 1)
+
+    def invoke_record_level_batch(self, state: WorldState, *,
+                                  records: List[Dict[str, Any]]) -> int:
+        """Record many per-record verdicts in one endorsed transaction.
+
+        The ingestion fast path flushes one of these per provenance batch
+        instead of one ``record_level`` transaction per record; each entry
+        still lands under its own ``privacy/record/{id}`` key, so queries
+        and the risky-sender analytics are unchanged.
+        """
+        if not records:
+            raise ValidationError("privacy batch must contain records")
+        for record in records:
+            self.invoke_record_level(
+                state, record_id=record["record_id"],
+                sender=record["sender"], degree=record["degree"],
+                passed=record["passed"])
+        return len(records)
 
     def invoke_record_level_of(self, state: WorldState, *,
                                record_id: str) -> Optional[Dict[str, Any]]:

@@ -123,9 +123,21 @@ class Ledger:
         return [tx for block in self._blocks for tx in block.transactions]
 
     def find_transaction(self, tx_id: str) -> Optional[Transaction]:
-        for tx in self.transactions():
-            if tx.tx_id == tx_id:
-                return tx
+        tx_and_height = self.transaction_location(tx_id)
+        return tx_and_height[0] if tx_and_height else None
+
+    def transaction_location(self, tx_id: str
+                             ) -> Optional[Tuple[Transaction, int]]:
+        """A transaction together with the height of its block.
+
+        Auditors verifying Merkle-batched provenance need the committed
+        transaction (for its endorsed batch root) and where on the chain
+        it sits.
+        """
+        for block in self._blocks:
+            for tx in block.transactions:
+                if tx.tx_id == tx_id:
+                    return tx, block.height
         return None
 
     def verify(self) -> bool:

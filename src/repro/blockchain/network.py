@@ -20,10 +20,11 @@ the global ledger."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.errors import EndorsementError, LedgerError
 from ..cloudsim.clock import SimClock
+from ..cloudsim.monitoring import MonitoringService
 from .chaincode import Chaincode, WorldState
 from .identity import MembershipServiceProvider
 from .ledger import Block, Ledger, Transaction, build_block
@@ -185,10 +186,13 @@ class BlockchainNetwork:
     def __init__(self, msp: MembershipServiceProvider,
                  policy: Optional[EndorsementPolicy] = None,
                  batch_size: int = 10,
-                 clock: Optional[SimClock] = None) -> None:
+                 clock: Optional[SimClock] = None,
+                 monitoring: Optional[MonitoringService] = None) -> None:
         self.msp = msp
         self.policy = policy if policy is not None else EndorsementPolicy()
         self.clock = clock if clock is not None else SimClock()
+        self.monitoring = (monitoring if monitoring is not None
+                           else MonitoringService(self.clock))
         self.orderer = OrderingService(batch_size, self.clock)
         self.peers: List[Peer] = []
         self._tx_counter = 0
@@ -206,15 +210,7 @@ class BlockchainNetwork:
 
         Raises :class:`EndorsementError` when the policy cannot be met.
         """
-        self._tx_counter += 1
-        tx = Transaction(
-            tx_id=f"tx-{self._tx_counter:08d}",
-            chaincode=chaincode,
-            method=method,
-            args=args,
-            submitter=submitter,
-            timestamp=self.clock.now,
-        )
+        tx = self._new_transaction(submitter, chaincode, method, args)
         endorsements: List[Tuple[str, bytes]] = []
         orgs: List[str] = []
         for peer in self.endorsing_peers():
@@ -222,8 +218,10 @@ class BlockchainNetwork:
                 endorsements.append(peer.endorse(tx))
                 orgs.append(peer.organization)
                 self.clock.advance(self.ENDORSE_LATENCY)
-            except Exception:
-                continue  # a failing endorser just doesn't sign
+            except Exception as exc:
+                # A failing endorser just doesn't sign — but degraded
+                # endorsement must be visible to operators and benches.
+                self._endorsement_failed(peer, tx, exc)
         if not self.policy.satisfied_by(orgs):
             raise EndorsementError(
                 f"tx {tx.tx_id}: endorsement policy unmet "
@@ -231,6 +229,70 @@ class BlockchainNetwork:
         endorsed = tx.with_endorsements(endorsements)
         self.orderer.submit(endorsed)
         return endorsed
+
+    def submit_batch(self, submitter: str,
+                     requests: Iterable[Tuple[str, str, Dict[str, Any]]]
+                     ) -> List[Transaction]:
+        """Endorse a batch of proposals with one round-trip per peer.
+
+        ``requests`` is a sequence of ``(chaincode, method, args)``
+        proposals.  Where :meth:`submit` pays one endorsement round-trip
+        per transaction per peer, this amortizes the trip: each endorsing
+        peer signs the whole batch in a single visit (``ENDORSE_LATENCY``
+        advances once per peer, not once per transaction per peer).  The
+        endorsement signatures themselves are still per transaction, so
+        validation semantics are unchanged.  Raises
+        :class:`EndorsementError` if any transaction in the batch cannot
+        meet the policy; nothing is ordered in that case.
+        """
+        txs = [self._new_transaction(submitter, chaincode, method, args)
+               for chaincode, method, args in requests]
+        if not txs:
+            return []
+        endorsements: List[List[Tuple[str, bytes]]] = [[] for _ in txs]
+        orgs: List[List[str]] = [[] for _ in txs]
+        for peer in self.endorsing_peers():
+            self.clock.advance(self.ENDORSE_LATENCY)  # one trip per peer
+            for i, tx in enumerate(txs):
+                try:
+                    endorsements[i].append(peer.endorse(tx))
+                    orgs[i].append(peer.organization)
+                except Exception as exc:
+                    self._endorsement_failed(peer, tx, exc)
+        endorsed_batch: List[Transaction] = []
+        for tx, tx_endorsements, tx_orgs in zip(txs, endorsements, orgs):
+            if not self.policy.satisfied_by(tx_orgs):
+                raise EndorsementError(
+                    f"tx {tx.tx_id}: endorsement policy unmet in batch "
+                    f"({len(tx_endorsements)} endorsements from {set(tx_orgs)})")
+            endorsed_batch.append(tx.with_endorsements(tx_endorsements))
+        for endorsed in endorsed_batch:
+            self.orderer.submit(endorsed)
+        return endorsed_batch
+
+    def _new_transaction(self, submitter: str, chaincode: str, method: str,
+                         args: Dict[str, Any]) -> Transaction:
+        self._tx_counter += 1
+        return Transaction(
+            tx_id=f"tx-{self._tx_counter:08d}",
+            chaincode=chaincode,
+            method=method,
+            args=args,
+            submitter=submitter,
+            timestamp=self.clock.now,
+        )
+
+    def _endorsement_failed(self, peer: Peer, tx: Transaction,
+                            exc: Exception) -> None:
+        """Record a failed endorsement in logs and metrics."""
+        self.monitoring.metrics.incr("blockchain.endorsement_failures")
+        self.monitoring.metrics.incr(
+            f"blockchain.endorsement_failures.{peer.peer_id}")
+        self.monitoring.log(
+            "blockchain",
+            f"endorsement failed: peer {peer.peer_id} tx {tx.tx_id} "
+            f"({tx.chaincode}.{tx.method}): {exc}",
+            level="WARN", peer=peer.peer_id, tx=tx.tx_id)
 
     def flush(self) -> List[Block]:
         """Cut and commit every pending block (force the final partial one)."""

@@ -54,7 +54,8 @@ class HealthCloudPlatform:
     """One fully wired health cloud instance."""
 
     def __init__(self, seed: int = 0, use_blockchain: bool = True,
-                 minimum_anonymization_degree: float = 0.6) -> None:
+                 minimum_anonymization_degree: float = 0.6,
+                 provenance_batch_size: int = 16) -> None:
         self.seed = seed
         self.clock = SimClock()
         self.monitoring = MonitoringService(self.clock)
@@ -76,7 +77,8 @@ class HealthCloudPlatform:
 
         # Provenance / consent / malware / privacy networks.
         self.blockchain: Optional[BlockchainNetwork] = (
-            standard_network(seed=seed, batch_size=8, clock=self.clock)
+            standard_network(seed=seed, batch_size=8, clock=self.clock,
+                             monitoring=self.monitoring)
             if use_blockchain else None)
 
         # Ingestion + export.
@@ -89,6 +91,7 @@ class HealthCloudPlatform:
             monitoring=self.monitoring,
             clock=self.clock,
             key_seed=seed,
+            provenance_batch_size=provenance_batch_size,
         )
         self.export = ExportService(
             datalake=self.datalake,
@@ -132,9 +135,11 @@ class HealthCloudPlatform:
         if self.blockchain is not None:
             self.blockchain.flush()
 
-    def run_ingestion(self, limit: Optional[int] = None) -> int:
+    def run_ingestion(self, limit: Optional[int] = None,
+                      batch_size: Optional[int] = None) -> int:
         """Drive the background ingestion worker, then seal the ledger."""
-        processed = self.ingestion.process_pending(limit)
+        processed = self.ingestion.process_pending(limit,
+                                                   batch_size=batch_size)
         self.flush_blockchain()
         return processed
 

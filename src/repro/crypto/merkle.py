@@ -57,8 +57,21 @@ class MerkleTree:
         return self._levels[-1][0]
 
     @property
+    def root_hex(self) -> str:
+        return self.root.hex()
+
+    @property
     def leaf_count(self) -> int:
         return len(self._leaves)
+
+    def proofs(self) -> List[MerkleProof]:
+        """Authentication paths for every leaf, sharing the built levels.
+
+        Batch submitters (e.g. Merkle-batched provenance transactions) need
+        a proof per event; generating them in one pass over the cached
+        levels avoids rebuilding per-leaf state.
+        """
+        return [self.proof(i) for i in range(len(self._leaves))]
 
     def proof(self, index: int) -> MerkleProof:
         """Authentication path for leaf ``index``."""

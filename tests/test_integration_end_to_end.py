@@ -69,9 +69,10 @@ class TestIngestionToExport:
         platform, _, _ = loaded_platform
         from repro.blockchain.audit import AuditorView
         view = AuditorView(platform.blockchain)
-        stored = view.search(chaincode="provenance", method="record_event",
-                             arg_equals={"event": "stored"})
+        stored = view.search_events(event="stored")
         assert len(stored) == 12
+        # Batched or not, every event's integrity anchor verifies.
+        assert all(view.verify_event(finding) for finding in stored)
         assert view.verify_integrity()
 
     def test_analyst_roundtrip(self, loaded_platform):

@@ -11,10 +11,14 @@ from repro.crypto.redactable import (
     redact,
     verify_share,
 )
-from repro.crypto.rsa import generate_keypair
+from repro.crypto.rsa import generate_keypair, rsa_decrypt, rsa_encrypt, rsa_sign
 from repro.crypto.symmetric import Ciphertext, SharedKeyCipher, generate_key
 
 KEYPAIR = generate_keypair(bits=768, seed=4242)
+# Every modulus size the repo actually uses (conftest fixtures: 512/1024;
+# this module: 768) — the CRT fast path must agree at all of them.
+CRT_KEYPAIRS = [generate_keypair(bits=bits, seed=7000 + bits)
+                for bits in (512, 768, 1024)]
 _NO_DEADLINE = settings(deadline=None,
                         suppress_health_check=[HealthCheck.too_slow])
 
@@ -48,6 +52,40 @@ class TestAeadProperties:
         ciphertext = cipher.encrypt(plaintext)
         assert Ciphertext.from_bytes(ciphertext.to_bytes()).to_bytes() == \
             ciphertext.to_bytes()
+
+
+class TestCrtRsaProperties:
+    """The CRT fast path must be indistinguishable from schoolbook RSA."""
+
+    @given(value=st.integers(min_value=2, max_value=2**500),
+           key_index=st.integers(0, len(CRT_KEYPAIRS) - 1))
+    @settings(deadline=None, max_examples=60,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_private_op_matches_schoolbook(self, value, key_index):
+        keypair = CRT_KEYPAIRS[key_index]
+        value %= keypair.n
+        assert keypair.private_op(value, use_crt=True) == \
+            keypair.private_op(value, use_crt=False)
+
+    @given(message=st.binary(min_size=1, max_size=48),
+           key_index=st.integers(0, len(CRT_KEYPAIRS) - 1))
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_decrypt_agrees_and_roundtrips(self, message, key_index):
+        keypair = CRT_KEYPAIRS[key_index]
+        ciphertext = rsa_encrypt(keypair.public_key(), message)
+        fast = rsa_decrypt(keypair, ciphertext, use_crt=True)
+        slow = rsa_decrypt(keypair, ciphertext, use_crt=False)
+        assert fast == slow == message
+
+    @given(message=st.binary(min_size=1, max_size=256),
+           key_index=st.integers(0, len(CRT_KEYPAIRS) - 1))
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_signatures_identical(self, message, key_index):
+        keypair = CRT_KEYPAIRS[key_index]
+        assert rsa_sign(keypair, message, use_crt=True) == \
+            rsa_sign(keypair, message, use_crt=False)
 
 
 class TestMerkleProperties:

@@ -87,7 +87,7 @@ def test_fig8_audit_logging(benchmark):
 def test_fig8_full_api_gateway_call(benchmark):
     """The complete API-management path: token auth + rate limit + RBAC
     + dispatch + audit + metering (Section II-B's gateway)."""
-    from repro.core.api import ApiGateway, RouteSpec
+    from repro.core.api import ApiGateway, ApiRequest, RouteSpec
     from repro.core.metering import MeteringService
     from repro.rbac.federation import (
         ExternalIdentityProvider,
@@ -105,13 +105,14 @@ def test_fig8_full_api_gateway_call(benchmark):
                          rate_limit=10**9,
                          meter=lambda t, p: meter.record(t, "api.call"))
     gateway.register_route(RouteSpec(
-        "/records", lambda user, **kw: {"rows": 10},
+        "/records", lambda context, **kw: {"rows": 10},
         Action.READ, "resource-0", scope.kind))
     token = idp.issue_token("u0@idp", ttl_s=1e9)
-
-    response = benchmark(gateway.call, "/records", token,
+    request = ApiRequest(path="/records", token=token,
                          scope_entity_id=scope.entity_id,
                          org_id=org.org_id, env_id=env.env_id)
+
+    response = benchmark(gateway.dispatch, request)
     assert response.status == 200
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from ..core.errors import EndorsementError, LedgerError
+from ..core.errors import EndorsementError, LedgerError, ServiceUnavailableError
 from ..cloudsim.clock import SimClock
 from ..cloudsim.monitoring import MonitoringService
 from .chaincode import Chaincode, WorldState
@@ -54,6 +54,9 @@ class Peer:
         self._chaincodes = dict(chaincodes)
         self.ledger = Ledger()
         self.state = WorldState()
+        # Optional chaos hook: a FaultPlan crash window makes this peer
+        # refuse to endorse (it is "down") until the window passes.
+        self.fault_plan = None
 
     def simulate(self, tx: Transaction) -> Any:
         """Endorsement-time simulation: run chaincode against current state.
@@ -68,6 +71,9 @@ class Peer:
 
     def endorse(self, tx: Transaction) -> Tuple[str, bytes]:
         """Simulate then sign the transaction payload."""
+        if self.fault_plan is not None and self.fault_plan.node_down(
+                self.peer_id):
+            raise ServiceUnavailableError(f"peer {self.peer_id} is down")
         self.simulate(tx)
         signature = self._msp.sign_as(self.peer_id, tx.payload())
         return (self.peer_id, signature)
@@ -81,15 +87,23 @@ class Peer:
             orgs.append(self._msp.identity(member_id).organization)
         return policy.satisfied_by(orgs)
 
-    def commit_block(self, block: Block, policy: EndorsementPolicy) -> int:
+    def commit_block(self, block: Block, policy: EndorsementPolicy,
+                     degraded_tx_ids: frozenset = frozenset(),
+                     degraded_policy: Optional[EndorsementPolicy] = None) -> int:
         """Validate + append a block; apply valid txns to world state.
 
-        Returns the number of transactions applied (invalid ones are
-        marked-and-skipped, as in Fabric's validation flag model).
+        Transactions the channel accepted under a *degraded* quorum (see
+        :class:`BlockchainNetwork` resilience) are validated against the
+        reduced policy they were admitted with.  Returns the number of
+        transactions applied (invalid ones are marked-and-skipped, as in
+        Fabric's validation flag model).
         """
         applied = 0
         for tx in block.transactions:
-            if not self.validate(tx, policy):
+            effective = (degraded_policy
+                         if degraded_policy is not None
+                         and tx.tx_id in degraded_tx_ids else policy)
+            if not self.validate(tx, effective):
                 continue
             try:
                 chaincode = self._chaincode(tx.chaincode)
@@ -187,7 +201,9 @@ class BlockchainNetwork:
                  policy: Optional[EndorsementPolicy] = None,
                  batch_size: int = 10,
                  clock: Optional[SimClock] = None,
-                 monitoring: Optional[MonitoringService] = None) -> None:
+                 monitoring: Optional[MonitoringService] = None,
+                 resilience: Optional[Any] = None,
+                 degraded_policy: Optional[EndorsementPolicy] = None) -> None:
         self.msp = msp
         self.policy = policy if policy is not None else EndorsementPolicy()
         self.clock = clock if clock is not None else SimClock()
@@ -196,6 +212,12 @@ class BlockchainNetwork:
         self.orderer = OrderingService(batch_size, self.clock)
         self.peers: List[Peer] = []
         self._tx_counter = 0
+        # Resilience: retry failed endorsers through this executor, and —
+        # when the full policy still cannot be met — degrade to the
+        # reduced quorum below, leaving an audit mark on every such tx.
+        self.resilience = resilience
+        self.degraded_policy = degraded_policy
+        self._degraded_tx_ids: set = set()
 
     def add_peer(self, peer: Peer) -> None:
         self.peers.append(peer)
@@ -215,17 +237,14 @@ class BlockchainNetwork:
         orgs: List[str] = []
         for peer in self.endorsing_peers():
             try:
-                endorsements.append(peer.endorse(tx))
+                endorsements.append(self._endorse(peer, tx))
                 orgs.append(peer.organization)
                 self.clock.advance(self.ENDORSE_LATENCY)
             except Exception as exc:
                 # A failing endorser just doesn't sign — but degraded
                 # endorsement must be visible to operators and benches.
                 self._endorsement_failed(peer, tx, exc)
-        if not self.policy.satisfied_by(orgs):
-            raise EndorsementError(
-                f"tx {tx.tx_id}: endorsement policy unmet "
-                f"({len(endorsements)} endorsements from {set(orgs)})")
+        self._require_quorum(tx, endorsements, orgs)
         endorsed = tx.with_endorsements(endorsements)
         self.orderer.submit(endorsed)
         return endorsed
@@ -255,16 +274,13 @@ class BlockchainNetwork:
             self.clock.advance(self.ENDORSE_LATENCY)  # one trip per peer
             for i, tx in enumerate(txs):
                 try:
-                    endorsements[i].append(peer.endorse(tx))
+                    endorsements[i].append(self._endorse(peer, tx))
                     orgs[i].append(peer.organization)
                 except Exception as exc:
                     self._endorsement_failed(peer, tx, exc)
         endorsed_batch: List[Transaction] = []
         for tx, tx_endorsements, tx_orgs in zip(txs, endorsements, orgs):
-            if not self.policy.satisfied_by(tx_orgs):
-                raise EndorsementError(
-                    f"tx {tx.tx_id}: endorsement policy unmet in batch "
-                    f"({len(tx_endorsements)} endorsements from {set(tx_orgs)})")
+            self._require_quorum(tx, tx_endorsements, tx_orgs, in_batch=True)
             endorsed_batch.append(tx.with_endorsements(tx_endorsements))
         for endorsed in endorsed_batch:
             self.orderer.submit(endorsed)
@@ -281,6 +297,48 @@ class BlockchainNetwork:
             submitter=submitter,
             timestamp=self.clock.now,
         )
+
+    def _endorse(self, peer: Peer, tx: Transaction) -> Tuple[str, bytes]:
+        """One peer's endorsement, retried under the resilience executor.
+
+        Without an executor this is a bare ``peer.endorse``; with one, a
+        transiently failing peer is retried with backoff, and a peer that
+        keeps failing trips its ``peer.<id>`` breaker so later proposals
+        stop waiting on it until the half-open probe succeeds.
+        """
+        if self.resilience is None:
+            return peer.endorse(tx)
+        return self.resilience.call(f"peer.{peer.peer_id}",
+                                    lambda: peer.endorse(tx))
+
+    def _require_quorum(self, tx: Transaction,
+                        endorsements: List[Tuple[str, bytes]],
+                        orgs: List[str], in_batch: bool = False) -> None:
+        """Enforce the endorsement policy, degrading if configured.
+
+        When the full policy is unmet but ``degraded_policy`` is satisfied,
+        the transaction is admitted under the reduced quorum and an audit
+        mark is left: a WARN log entry, the ``blockchain.degraded_commits``
+        metric, and commit-time validation pinned to the reduced policy.
+        """
+        if self.policy.satisfied_by(orgs):
+            return
+        if (self.degraded_policy is not None
+                and self.degraded_policy.satisfied_by(orgs)):
+            self._degraded_tx_ids.add(tx.tx_id)
+            self.monitoring.metrics.incr("blockchain.degraded_commits")
+            self.monitoring.log(
+                "blockchain",
+                f"AUDIT: tx {tx.tx_id} accepted under DEGRADED quorum "
+                f"({len(endorsements)} endorsements from {sorted(set(orgs))}; "
+                f"required {self.policy.min_endorsements}/"
+                f"{self.policy.min_organizations})",
+                level="WARN", tx=tx.tx_id, degraded=True)
+            return
+        where = " in batch" if in_batch else ""
+        raise EndorsementError(
+            f"tx {tx.tx_id}: endorsement policy unmet{where} "
+            f"({len(endorsements)} endorsements from {set(orgs)})")
 
     def _endorsement_failed(self, peer: Peer, tx: Transaction,
                             exc: Exception) -> None:
@@ -305,9 +363,13 @@ class BlockchainNetwork:
             if block is None:
                 break
             self.clock.advance(self.ORDER_LATENCY)
+            degraded = frozenset(self._degraded_tx_ids)
             for peer in self.peers:
-                peer.commit_block(block, self.policy)
+                peer.commit_block(block, self.policy,
+                                  degraded_tx_ids=degraded,
+                                  degraded_policy=self.degraded_policy)
                 self.clock.advance(self.COMMIT_LATENCY)
+            self._degraded_tx_ids -= {tx.tx_id for tx in block.transactions}
             committed.append(block)
         return committed
 

@@ -13,6 +13,15 @@ from .clock import (
     SimClock,
     WAN_ROUND_TRIP,
 )
+from .faults import (
+    AvailabilityDipFault,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    LatencySpikeFault,
+    LinkDropFault,
+    NodeCrashFault,
+)
 from .monitoring import LogEntry, LogStore, MetricsRegistry, MonitoringService, scrub
 from .network import Link, NetworkFabric, TransferRecord, standard_topology
 from .nodes import (
@@ -27,6 +36,13 @@ from .nodes import (
 from .provisioning import ProvisionRequest, ResourceProvisioningService
 
 __all__ = [
+    "AvailabilityDipFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultWindow",
+    "LatencySpikeFault",
+    "LinkDropFault",
+    "NodeCrashFault",
     "EventScheduler",
     "SimClock",
     "LOCAL_MEMORY_ACCESS",

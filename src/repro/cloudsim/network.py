@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
-from ..core.errors import ConfigurationError, NotFoundError
+from ..core.errors import ConfigurationError, NotFoundError, ServiceUnavailableError
 from .clock import SimClock
 
 
@@ -55,6 +55,10 @@ class NetworkFabric:
         self._graph = nx.Graph()
         self._partitioned: set = set()
         self.transfers: List[TransferRecord] = []
+        # Optional chaos hook (see repro.cloudsim.faults.FaultInjector):
+        # when set, transfers consult it for drops and latency spikes.
+        self.fault_plan = None
+        self.dropped_transfers = 0
 
     def add_endpoint(self, name: str) -> None:
         """Register an endpoint; idempotent."""
@@ -101,7 +105,10 @@ class NetworkFabric:
         path = self.route(src, dst)
         total = 0.0
         for u, v in zip(path, path[1:]):
-            total += self._graph.edges[u, v]["link"].transfer_time(nbytes)
+            hop = self._graph.edges[u, v]["link"].transfer_time(nbytes)
+            if self.fault_plan is not None:
+                hop *= self.fault_plan.latency_multiplier(u, v)
+            total += hop
         return total
 
     def round_trip_time(self, src: str, dst: str, request_bytes: int = 256,
@@ -111,9 +118,27 @@ class NetworkFabric:
                 + self.one_way_time(dst, src, response_bytes))
 
     def transfer(self, src: str, dst: str, nbytes: int) -> TransferRecord:
-        """Perform a transfer: advances the clock and records accounting."""
+        """Perform a transfer: advances the clock and records accounting.
+
+        Under an attached fault plan a hop may drop the payload: the time
+        spent up to the failing hop is still charged, and the transfer
+        raises :class:`ServiceUnavailableError` instead of completing.
+        """
         started = self.clock.now
-        duration = self.one_way_time(src, dst, nbytes)
+        if self.fault_plan is not None and src != dst:
+            path = self.route(src, dst)
+            duration = 0.0
+            for u, v in zip(path, path[1:]):
+                duration += (self._graph.edges[u, v]["link"]
+                             .transfer_time(nbytes)
+                             * self.fault_plan.latency_multiplier(u, v))
+                if self.fault_plan.link_dropped(u, v):
+                    self.clock.advance(duration)
+                    self.dropped_transfers += 1
+                    raise ServiceUnavailableError(
+                        f"transfer {src}->{dst} dropped on hop {u}->{v}")
+        else:
+            duration = self.one_way_time(src, dst, nbytes)
         self.clock.advance(duration)
         record = TransferRecord(
             src=src, dst=dst, nbytes=nbytes, started_at=started,

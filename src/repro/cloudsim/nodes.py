@@ -107,6 +107,12 @@ class Host:
     def start(self) -> None:
         self.state = NodeState.RUNNING
 
+    def stop(self) -> None:
+        """Crash/stop the host; running VMs (and their containers) go down."""
+        self.state = NodeState.STOPPED
+        for vm in self.vms.values():
+            vm.stop()
+
     def available_vcpus(self) -> int:
         used = sum(vm.vcpus for vm in self.vms.values()
                    if vm.state is NodeState.RUNNING)

@@ -5,17 +5,36 @@ imported lazily by user code because it pulls in every subsystem.
 """
 
 from . import errors
-from .api import ApiGateway, ApiResponse, RateLimiter, RouteSpec
+from .api import (
+    ApiGateway,
+    ApiRequest,
+    ApiResponse,
+    RateLimiter,
+    RequestContext,
+    RouteSpec,
+)
 from .ids import IdFactory, content_id
 from .metering import DEFAULT_PRICES, Invoice, MeteringService, UsageRecord
 from .reports import Report, ReportService
+from .resilience import (
+    BreakerState,
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilientExecutor,
+)
 
 __all__ = [
     "errors",
     "ApiGateway",
+    "ApiRequest",
     "ApiResponse",
     "RateLimiter",
+    "RequestContext",
     "RouteSpec",
+    "BreakerState",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "ResilientExecutor",
     "IdFactory",
     "content_id",
     "DEFAULT_PRICES",

@@ -7,21 +7,37 @@ system and allows API access accordingly."
 
 :class:`ApiGateway` is that front door: token authentication through the
 federated identity service, per-route RBAC requirements consulted on
-every call, per-tenant rate limiting, audit logging of every request, and
-metering hooks for billing.
+every call, per-tenant (and optional per-route) rate limiting, audit
+logging of every request, and metering hooks for billing.
+
+Requests travel as a typed :class:`ApiRequest` envelope through
+:meth:`ApiGateway.dispatch`; handlers receive a :class:`RequestContext`
+(authenticated user, tenant, request id, deadline) plus the request's
+parameters.  Failures are raised as exceptions anywhere in the stack and
+mapped to HTTP statuses by the single table in
+:mod:`repro.core.errors` (:func:`~repro.core.errors.http_status_for`) —
+no per-branch response construction.  Routes are versioned
+(``/v1/...``); unversioned paths resolve against the default version.
+
+The legacy ``gateway.call(path, token, ...)`` signature survives as a
+deprecation shim over :meth:`dispatch`.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..cloudsim.clock import SimClock
 from ..cloudsim.monitoring import MonitoringService
 from ..core.errors import (
-    AuthenticationError,
-    AuthorizationError,
+    ConfigurationError,
+    DeadlineExceededError,
     NotFoundError,
+    RateLimitError,
+    http_status_for,
 )
 from ..rbac.engine import RbacEngine
 from ..rbac.federation import FederatedIdentityService, IdentityToken
@@ -29,10 +45,18 @@ from ..rbac.model import Action, Scope, ScopeKind, User
 
 Handler = Callable[..., Any]
 
+DEFAULT_API_VERSION = "v1"
+
 
 @dataclass(frozen=True)
 class RouteSpec:
-    """One exposed API route and its access requirement."""
+    """One exposed API route and its access requirement.
+
+    ``version`` prefixes the wire path (``/v1/billing``); requests using
+    the bare path resolve against :data:`DEFAULT_API_VERSION`.  A route
+    may carry its own rate limit (requests per ``rate_window_s`` per
+    tenant) on top of the gateway-wide one.
+    """
 
     path: str
     handler: Handler
@@ -40,26 +64,86 @@ class RouteSpec:
     resource_type: str
     scope_kind: ScopeKind   # scope entity id comes from the request
     description: str = ""
+    version: str = DEFAULT_API_VERSION
+    rate_limit: Optional[int] = None
+    rate_window_s: Optional[float] = None
+
+    @property
+    def versioned_path(self) -> str:
+        return f"/{self.version}{self.path}"
 
 
 @dataclass
 class RateLimiter:
-    """Fixed-window per-key rate limiter on the simulated clock."""
+    """Fixed-window per-key rate limiter on the simulated clock.
+
+    Bounded: expired windows are pruned and the number of tracked keys is
+    capped (LRU eviction), so a million distinct tenants cannot grow the
+    limiter without bound.
+    """
 
     limit: int
     window_s: float
     clock: SimClock
-    _windows: Dict[str, Tuple[float, int]] = field(default_factory=dict)
+    max_keys: int = 4096
+    _windows: "OrderedDict[str, Tuple[float, int]]" = field(
+        default_factory=OrderedDict)
 
     def allow(self, key: str) -> bool:
-        window_start, count = self._windows.get(key, (self.clock.now, 0))
-        if self.clock.now - window_start >= self.window_s:
-            window_start, count = self.clock.now, 0
-        if count >= self.limit:
-            self._windows[key] = (window_start, count)
-            return False
-        self._windows[key] = (window_start, count + 1)
-        return True
+        now = self.clock.now
+        window_start, count = self._windows.get(key, (now, 0))
+        if now - window_start >= self.window_s:
+            window_start, count = now, 0
+        allowed = count < self.limit
+        if allowed:
+            count += 1
+        self._windows[key] = (window_start, count)
+        self._windows.move_to_end(key)
+        if len(self._windows) > self.max_keys:
+            self.prune()
+        return allowed
+
+    def prune(self) -> None:
+        """Drop expired windows; evict least-recent keys past the cap."""
+        now = self.clock.now
+        expired = [key for key, (start, _) in self._windows.items()
+                   if now - start >= self.window_s]
+        for key in expired:
+            del self._windows[key]
+        while len(self._windows) > self.max_keys:
+            self._windows.popitem(last=False)
+
+    @property
+    def tracked_keys(self) -> int:
+        return len(self._windows)
+
+
+@dataclass(frozen=True)
+class ApiRequest:
+    """The typed request envelope every gateway call travels in.
+
+    ``deadline_s`` is an absolute simulated time; a request whose
+    deadline has passed (before dispatch or after the handler ran) gets
+    a 504 instead of a body.
+    """
+
+    path: str
+    token: IdentityToken
+    scope_entity_id: str
+    org_id: str
+    env_id: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    deadline_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """What an authenticated request looks like from inside a handler."""
+
+    user: User
+    tenant_id: str
+    request_id: str
+    deadline_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -85,73 +169,114 @@ class ApiGateway:
         self.clock = clock if clock is not None else SimClock()
         self.monitoring = (monitoring if monitoring is not None
                            else MonitoringService(self.clock))
-        self._routes: Dict[str, RouteSpec] = {}
+        self._routes: Dict[str, RouteSpec] = {}   # keyed by versioned path
         self._limiter = RateLimiter(rate_limit, rate_window_s, self.clock)
+        self._route_limiters: Dict[str, RateLimiter] = {}
         self._meter = meter
         self._request_counter = 0
 
     def register_route(self, route: RouteSpec) -> None:
         """Expose a capability behind an access requirement."""
-        if route.path in self._routes:
-            raise NotFoundError(f"route {route.path!r} already registered")
-        self._routes[route.path] = route
+        key = route.versioned_path
+        if key in self._routes:
+            raise ConfigurationError(f"route {key!r} already registered")
+        self._routes[key] = route
+        if route.rate_limit is not None:
+            self._route_limiters[key] = RateLimiter(
+                route.rate_limit,
+                route.rate_window_s if route.rate_window_s is not None
+                else self._limiter.window_s,
+                self.clock)
 
     def routes(self) -> List[str]:
         return sorted(self._routes)
 
-    def call(self, path: str, token: IdentityToken, *,
-             scope_entity_id: str, org_id: str, env_id: str,
-             **kwargs: Any) -> ApiResponse:
+    # -- the typed front door ------------------------------------------------
+
+    def dispatch(self, request: ApiRequest) -> ApiResponse:
         """One API request through the full management stack.
 
         Order mirrors the paper: authenticate first, then consult the
-        Privacy Management (RBAC) system, then dispatch.  Every outcome is
-        audited; rate limits apply per authenticated tenant.
+        Privacy Management (RBAC) system, then dispatch.  Every outcome
+        is audited; rate limits apply per authenticated tenant; any
+        exception maps to its HTTP status through
+        :data:`~repro.core.errors.HTTP_STATUS_BY_ERROR`.
         """
         self._request_counter += 1
         request_id = f"req-{self._request_counter:08d}"
-        route = self._routes.get(path)
-        if route is None:
-            self.monitoring.log("api", f"{request_id} 404 {path}",
-                                level="WARN")
-            return ApiResponse(404, {"error": f"no route {path}"}, request_id)
+        try:
+            body = self._handle(request, request_id)
+        except Exception as exc:
+            status = http_status_for(exc)
+            self.monitoring.log(
+                "api", f"{request_id} {status} {request.path}: {exc}",
+                level="ERROR" if status >= 500 else "WARN")
+            self.monitoring.metrics.incr(f"api.status.{status}")
+            return ApiResponse(status, {"error": str(exc)}, request_id)
+        self.monitoring.metrics.incr("api.status.200")
+        return ApiResponse(200, body, request_id)
+
+    def _handle(self, request: ApiRequest, request_id: str) -> Any:
+        route = self._resolve(request.path)
 
         # 1. Authentication (federated identity).
-        try:
-            user: User = self.federation.authenticate(token)
-        except AuthenticationError as exc:
-            self.monitoring.log("api", f"{request_id} 401 {path}: {exc}",
-                                level="WARN")
-            return ApiResponse(401, {"error": str(exc)}, request_id)
+        user: User = self.federation.authenticate(request.token)
 
-        # 2. Rate limiting per tenant.
+        # 2. Rate limiting per tenant — gateway-wide, then per-route.
         if not self._limiter.allow(user.tenant_id):
-            self.monitoring.log("api",
-                                f"{request_id} 429 {path} tenant "
-                                f"{user.tenant_id}", level="WARN")
-            return ApiResponse(429, {"error": "rate limit exceeded"},
-                               request_id)
+            raise RateLimitError("rate limit exceeded")
+        route_limiter = self._route_limiters.get(route.versioned_path)
+        if route_limiter is not None and not route_limiter.allow(
+                user.tenant_id):
+            raise RateLimitError(
+                f"rate limit exceeded for {route.versioned_path}")
 
         # 3. Authorization via the Privacy Management system.
-        scope = Scope(route.scope_kind, scope_entity_id)
-        try:
-            self.rbac.require(user.user_id, route.action,
-                              route.resource_type, scope, org_id, env_id)
-        except AuthorizationError as exc:
-            self.monitoring.log("api", f"{request_id} 403 {path} "
-                                f"user {user.user_id}", level="WARN")
-            return ApiResponse(403, {"error": str(exc)}, request_id)
+        scope = Scope(route.scope_kind, request.scope_entity_id)
+        self.rbac.require(user.user_id, route.action, route.resource_type,
+                          scope, request.org_id, request.env_id)
 
-        # 4. Dispatch, meter, audit.
-        try:
-            body = route.handler(user=user, **kwargs)
-        except Exception as exc:  # surface handler faults as 500s
-            self.monitoring.log("api", f"{request_id} 500 {path}: {exc}",
-                                level="ERROR")
-            return ApiResponse(500, {"error": str(exc)}, request_id)
+        # 4. Deadline, dispatch, meter, audit.
+        self._check_deadline(request, "before dispatch")
+        context = RequestContext(user=user, tenant_id=user.tenant_id,
+                                 request_id=request_id,
+                                 deadline_s=request.deadline_s)
+        body = route.handler(context, **dict(request.params))
+        self._check_deadline(request, "after handler")
         if self._meter is not None:
-            self._meter(user.tenant_id, path)
-        self.monitoring.log("api",
-                            f"{request_id} 200 {path} user {user.user_id}")
-        self.monitoring.metrics.incr(f"api.{path}.200")
-        return ApiResponse(200, body, request_id)
+            self._meter(user.tenant_id, route.path)
+        self.monitoring.log(
+            "api", f"{request_id} 200 {request.path} user {user.user_id}")
+        self.monitoring.metrics.incr(f"api.{route.path}.200")
+        return body
+
+    def _resolve(self, path: str) -> RouteSpec:
+        route = self._routes.get(path)
+        if route is None:  # unversioned path: default version
+            route = self._routes.get(f"/{DEFAULT_API_VERSION}{path}")
+        if route is None:
+            raise NotFoundError(f"no route {path}")
+        return route
+
+    def _check_deadline(self, request: ApiRequest, when: str) -> None:
+        if (request.deadline_s is not None
+                and self.clock.now > request.deadline_s):
+            raise DeadlineExceededError(
+                f"deadline {request.deadline_s:.3f}s passed {when} "
+                f"(now {self.clock.now:.3f}s)")
+
+    # -- legacy surface ------------------------------------------------------
+
+    def call(self, path: str, token: IdentityToken, *,
+             scope_entity_id: str, org_id: str, env_id: str,
+             deadline_s: Optional[float] = None,
+             **kwargs: Any) -> ApiResponse:
+        """Deprecated: build an :class:`ApiRequest` and use :meth:`dispatch`."""
+        warnings.warn(
+            "ApiGateway.call(path, token, ...) is deprecated; build an "
+            "ApiRequest and use ApiGateway.dispatch(request)",
+            DeprecationWarning, stacklevel=2)
+        return self.dispatch(ApiRequest(
+            path=path, token=token, scope_entity_id=scope_entity_id,
+            org_id=org_id, env_id=env_id, params=kwargs,
+            deadline_s=deadline_s))

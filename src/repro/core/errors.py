@@ -3,9 +3,16 @@
 Every failure surfaced by the platform is an instance of
 :class:`HealthCloudError`.  Subsystems raise the narrowest subclass that
 describes the fault so callers can catch exactly what they can handle.
+
+The API gateway maps exceptions to HTTP statuses through one table,
+:data:`HTTP_STATUS_BY_ERROR` (resolved along the exception's MRO by
+:func:`http_status_for`), instead of per-branch response construction —
+new error classes get a wire status by adding one row here.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 
 class HealthCloudError(Exception):
@@ -102,3 +109,41 @@ class ModelLifecycleError(HealthCloudError):
 
 class DisconnectedError(HealthCloudError):
     """A client operation required connectivity while offline."""
+
+
+class RateLimitError(HealthCloudError):
+    """The caller exceeded its request rate limit."""
+
+
+class DeadlineExceededError(HealthCloudError):
+    """A request's deadline passed before the work completed."""
+
+
+# -- exception -> HTTP status mapping (API gateway) ---------------------------
+
+HTTP_STATUS_BY_ERROR: Dict[type, int] = {
+    AuthenticationError: 401,
+    AuthorizationError: 403,
+    ConsentError: 403,
+    NotFoundError: 404,
+    AlreadyExistsError: 409,
+    ValidationError: 422,
+    MalwareDetectedError: 422,
+    AnonymizationError: 422,
+    RateLimitError: 429,
+    ConfigurationError: 500,
+    IntegrityError: 500,
+    ServiceUnavailableError: 503,
+    DisconnectedError: 503,
+    DeadlineExceededError: 504,
+    HealthCloudError: 500,
+}
+
+
+def http_status_for(exc: BaseException) -> int:
+    """HTTP status for an exception, resolved along its MRO (default 500)."""
+    for cls in type(exc).__mro__:
+        status = HTTP_STATUS_BY_ERROR.get(cls)
+        if status is not None:
+            return status
+    return 500

@@ -150,6 +150,8 @@ class HealthCloudPlatform:
 
         Routes require a tenant-scoped permission on their resource type:
         ``platform-status`` (read), ``reports`` (read), ``billing`` (read).
+        Handlers receive the request's
+        :class:`~repro.core.api.RequestContext` plus its parameters.
         """
         from ..rbac.model import Action, ScopeKind
         from .api import ApiGateway, RouteSpec
@@ -161,7 +163,7 @@ class HealthCloudPlatform:
                 tenant_id, "api.call"))
         gateway.register_route(RouteSpec(
             path="/ingestion/status",
-            handler=lambda user, job_id: {
+            handler=lambda context, job_id: {
                 "status": self.ingestion.status(job_id)[0].value,
                 "reason": self.ingestion.status(job_id)[1]},
             action=Action.READ, resource_type="platform-status",
@@ -169,20 +171,20 @@ class HealthCloudPlatform:
             description="poll an ingestion job's status URL"))
         gateway.register_route(RouteSpec(
             path="/reports/operations",
-            handler=lambda user: self.reports.operations_report().body,
+            handler=lambda context: self.reports.operations_report().body,
             action=Action.READ, resource_type="reports",
             scope_kind=ScopeKind.TENANT,
             description="operations dashboard"))
         gateway.register_route(RouteSpec(
             path="/reports/compliance",
-            handler=lambda user: self.reports.compliance_report().body,
+            handler=lambda context: self.reports.compliance_report().body,
             action=Action.READ, resource_type="reports",
             scope_kind=ScopeKind.TENANT,
             description="compliance dashboard"))
         gateway.register_route(RouteSpec(
             path="/billing",
-            handler=lambda user: self.reports.billing_report(
-                user.tenant_id).body,
+            handler=lambda context: self.reports.billing_report(
+                context.tenant_id).body,
             action=Action.READ, resource_type="billing",
             scope_kind=ScopeKind.TENANT,
             description="current-period invoice"))

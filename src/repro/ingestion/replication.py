@@ -55,6 +55,9 @@ class ReplicatedDataLake:
                            else MonitoringService())
         # Write-ahead log of (method, args) for async catch-up.
         self._log: List[Tuple[str, tuple, dict]] = []
+        # Optional chaos hook: crash windows on zone names, applied by
+        # tick_faults() so outages/recoveries follow the simulated clock.
+        self.fault_plan = None
 
     # -- topology -----------------------------------------------------------
 
@@ -79,6 +82,17 @@ class ReplicatedDataLake:
         self._catch_up(z)
         self.monitoring.log("hadr", f"zone {zone} healed and caught up")
 
+    def tick_faults(self) -> None:
+        """Apply the attached fault plan's zone crash windows right now."""
+        if self.fault_plan is None:
+            return
+        for zone in list(self._zones.values()):
+            down = self.fault_plan.node_down(zone.name)
+            if down and zone.healthy:
+                self.fail_zone(zone.name)
+            elif not down and not zone.healthy:
+                self.heal_zone(zone.name)
+
     def _promote(self) -> None:
         candidates = [z for z in self._zones.values()
                       if z.healthy and z.name != self._primary]
@@ -88,6 +102,7 @@ class ReplicatedDataLake:
         new_primary = max(candidates, key=lambda z: z.applied_writes)
         self._catch_up(new_primary)
         self._primary = new_primary.name
+        self.monitoring.metrics.incr("hadr.promotions")
         self.monitoring.log("hadr",
                             f"promoted {new_primary.name} to primary")
 
@@ -139,7 +154,13 @@ class ReplicatedDataLake:
         return record
 
     def retrieve(self, record_id: str) -> bytes:
-        """Read from the primary; fail over to replicas on outage."""
+        """Read from the primary; fail over to replicas on outage.
+
+        Every read served by a non-primary zone counts as a failover on
+        the ``hadr.failover_reads`` metric.
+        """
+        requested_primary = self._primary
+        self.tick_faults()  # may fail the primary and promote a replica
         order = [self._primary] + self.replica_zones()
         last_error: Optional[Exception] = None
         for name in order:
@@ -148,9 +169,13 @@ class ReplicatedDataLake:
                 continue
             self._catch_up(zone)
             try:
-                return zone.lake.retrieve(record_id)
+                value = zone.lake.retrieve(record_id)
             except NotFoundError as exc:
                 last_error = exc
+                continue
+            if name != requested_primary:
+                self.monitoring.metrics.incr("hadr.failover_reads")
+            return value
         if last_error is not None:
             raise last_error
         raise ServiceUnavailableError("no healthy zone for read")

@@ -17,22 +17,51 @@ from typing import Any, Callable, Hashable, Optional, Tuple
 
 from ..cloudsim.clock import SimClock, WAN_ROUND_TRIP
 from ..caching.policies import Cache, LruCache
+from ..core.errors import ServiceUnavailableError
 
 
 class RemoteKnowledgeBase:
-    """Proxy that charges network latency for each KB method call."""
+    """Proxy that charges network latency for each KB method call.
+
+    Chaos-aware: an attached :class:`~repro.cloudsim.faults.FaultPlan`
+    can drop or slow the WAN link the proxy models (``link`` names its
+    two endpoints), and an optional
+    :class:`~repro.core.resilience.ResilientExecutor` absorbs those
+    failures with retries/backoff under a ``kb.<name>`` circuit breaker.
+    """
 
     def __init__(self, base: Any, clock: Optional[SimClock] = None,
-                 round_trip_s: float = WAN_ROUND_TRIP) -> None:
+                 round_trip_s: float = WAN_ROUND_TRIP,
+                 link: Tuple[str, str] = ("cloud-a", "external-kb"),
+                 resilience: Optional[Any] = None) -> None:
         self._base = base
         self.clock = clock if clock is not None else SimClock()
         self.round_trip_s = round_trip_s
         self.remote_calls = 0
+        self.failed_calls = 0
         self.name = getattr(base, "name", type(base).__name__)
+        self.link = link
+        self.fault_plan = None
+        self.resilience = resilience
 
     def call(self, method: str, *args: Hashable) -> Any:
         """Invoke a KB method remotely (clock advances by one round trip)."""
-        self.clock.advance(self.round_trip_s)
+        if self.resilience is not None:
+            return self.resilience.call(
+                f"kb.{self.name}", lambda: self._call_once(method, *args))
+        return self._call_once(method, *args)
+
+    def _call_once(self, method: str, *args: Hashable) -> Any:
+        round_trip = self.round_trip_s
+        if self.fault_plan is not None:
+            round_trip *= self.fault_plan.latency_multiplier(*self.link)
+            if self.fault_plan.link_dropped(*self.link):
+                self.clock.advance(round_trip)  # the timed-out round trip
+                self.failed_calls += 1
+                raise ServiceUnavailableError(
+                    f"remote KB {self.name}: {self.link[0]}<->{self.link[1]} "
+                    "dropped the request")
+        self.clock.advance(round_trip)
         self.remote_calls += 1
         return getattr(self._base, method)(*args)
 

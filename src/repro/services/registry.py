@@ -56,6 +56,8 @@ class SimulatedAiService:
         self.availability = availability
         self.accuracy = accuracy
         self._rng = np.random.default_rng(seed)
+        # Optional chaos hook: a FaultPlan can dip availability in a window.
+        self.fault_plan = None
 
     def call(self, task_input: str, ground_truth: Optional[str] = None
              ) -> Tuple[str, float]:
@@ -67,7 +69,11 @@ class SimulatedAiService:
         """
         latency = float(self._rng.lognormal(
             mean=np.log(self.mean_latency_s), sigma=0.35))
-        if self._rng.random() > self.availability:
+        availability = self.availability
+        if self.fault_plan is not None:
+            availability = self.fault_plan.service_availability(
+                self.name, availability)
+        if self._rng.random() > availability:
             raise ServiceUnavailableError(f"{self.name} is unavailable")
         if ground_truth is not None:
             if self._rng.random() < self.accuracy:
@@ -140,6 +146,40 @@ class ServiceRegistry:
             ServiceCallRecord(service_name, latency, True))
         return output
 
+    def invoke_resilient(self, executor, capability: str, task_input: str,
+                         ground_truth: Optional[str] = None) -> str:
+        """Call the best provider under a resilience policy, failing over
+        down the ranked provider list when retries are exhausted or a
+        provider's circuit breaker is open.
+
+        ``executor`` is a :class:`~repro.core.resilience.ResilientExecutor`;
+        each provider gets its own breaker named ``ai.<service>``.  Open
+        breakers are skipped at *selection* time too, so a known-bad
+        provider stops being picked until its half-open probe succeeds.
+        """
+        ranked = self.ranked_services(capability)
+        open_skipped = [name for name in ranked
+                        if not executor.breaker(f"ai.{name}").allow()]
+        usable = [name for name in ranked if name not in open_skipped]
+        if not usable:
+            usable = ranked  # all breakers open: let the probe logic decide
+        else:
+            for _ in open_skipped:
+                executor.monitoring.metrics.incr("services.selection_skips")
+        primary, *rest = usable
+        return executor.call(
+            f"ai.{primary}",
+            lambda: self.invoke(primary, task_input, ground_truth),
+            fallbacks=[
+                (f"ai.{name}",
+                 lambda name=name: self.invoke(name, task_input, ground_truth))
+                for name in rest
+            ])
+
+    def ranked_services(self, capability: str) -> List[str]:
+        """Providers for a capability, best (per the evidence) first."""
+        return [name for _, name in self._scored(capability)]
+
     # -- standard accuracy tests -------------------------------------------------
 
     def run_accuracy_test(self, service_name: str,
@@ -199,6 +239,14 @@ class ServiceRegistry:
         # Accuracy dominates by default: for healthcare analytics a wrong
         # extraction costs more than a slow one.
         """Pick the best provider from the measured evidence."""
+        return self._scored(capability, latency_weight, availability_weight,
+                            accuracy_weight)[0][1]
+
+    def _scored(self, capability: str,
+                latency_weight: float = 0.2,
+                availability_weight: float = 0.2,
+                accuracy_weight: float = 0.6) -> List[Tuple[float, str]]:
+        """(score, name) pairs for a capability, best first."""
         candidates = self.services_for(capability)
         if not candidates:
             raise ConfigurationError(f"no services for {capability!r}")
@@ -215,5 +263,6 @@ class ServiceRegistry:
                     + availability_weight * card.measured_availability
                     + accuracy_weight * accuracy)
 
-        best = max(cards, key=score)
-        return best.service
+        # Stable on name so equal-evidence providers rank deterministically.
+        return sorted(((score(card), card.service) for card in cards),
+                      key=lambda pair: (-pair[0], pair[1]))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloudsim.clock import SimClock
-from repro.core.api import ApiGateway, RateLimiter, RouteSpec
+from repro.core.api import ApiGateway, ApiRequest, RateLimiter, RouteSpec
 from repro.core.errors import ConfigurationError, NotFoundError
 from repro.core.metering import MeteringService
 from repro.rbac.engine import RbacEngine
@@ -38,17 +38,17 @@ def api_world():
                              tenant_id, "api.call"))
     gateway.register_route(RouteSpec(
         path="/records/list",
-        handler=lambda user, **kw: {"records": ["r1", "r2"], "kw": kw},
+        handler=lambda context, **kw: {"records": ["r1", "r2"], "kw": kw},
         action=Action.READ, resource_type="records",
         scope_kind=ScopeKind.ORGANIZATION))
     gateway.register_route(RouteSpec(
         path="/records/write",
-        handler=lambda user, **kw: {"written": True},
+        handler=lambda context, **kw: {"written": True},
         action=Action.WRITE, resource_type="records",
         scope_kind=ScopeKind.ORGANIZATION))
     gateway.register_route(RouteSpec(
         path="/boom",
-        handler=lambda user, **kw: 1 / 0,
+        handler=lambda context, **kw: 1 / 0,
         action=Action.READ, resource_type="records",
         scope_kind=ScopeKind.ORGANIZATION))
     return gateway, idp, org, env, meter, tenant
@@ -57,8 +57,9 @@ def api_world():
 def _call(gateway, idp, org, env, path="/records/list", subject="alice@acme",
           **kwargs):
     token = idp.issue_token(subject)
-    return gateway.call(path, token, scope_entity_id=org.org_id,
-                        org_id=org.org_id, env_id=env.env_id, **kwargs)
+    return gateway.dispatch(ApiRequest(
+        path=path, token=token, scope_entity_id=org.org_id,
+        org_id=org.org_id, env_id=env.env_id, params=kwargs))
 
 
 class TestApiGateway:
@@ -71,10 +72,10 @@ class TestApiGateway:
     def test_unauthenticated_401(self, api_world):
         gateway, _, org, env, _, _ = api_world
         rogue = ExternalIdentityProvider("rogue", b"rogue-secret-0001")
-        response = gateway.call("/records/list",
-                                rogue.issue_token("alice@acme"),
-                                scope_entity_id=org.org_id,
-                                org_id=org.org_id, env_id=env.env_id)
+        response = gateway.dispatch(ApiRequest(
+            path="/records/list", token=rogue.issue_token("alice@acme"),
+            scope_entity_id=org.org_id, org_id=org.org_id,
+            env_id=env.env_id))
         assert response.status == 401
 
     def test_unauthorized_403(self, api_world):
@@ -122,10 +123,20 @@ class TestApiGateway:
 
     def test_duplicate_route_rejected(self, api_world):
         gateway, *_ = api_world
-        with pytest.raises(NotFoundError):
+        with pytest.raises(ConfigurationError):
             gateway.register_route(RouteSpec(
-                "/records/list", lambda user: None, Action.READ, "records",
-                ScopeKind.ORGANIZATION))
+                "/records/list", lambda context: None, Action.READ,
+                "records", ScopeKind.ORGANIZATION))
+
+    def test_legacy_call_shim_deprecated_but_working(self, api_world):
+        gateway, idp, org, env, _, _ = api_world
+        token = idp.issue_token("alice@acme")
+        with pytest.warns(DeprecationWarning):
+            response = gateway.call(
+                "/records/list", token, scope_entity_id=org.org_id,
+                org_id=org.org_id, env_id=env.env_id)
+        assert response.status == 200
+        assert response.body["records"] == ["r1", "r2"]
 
 
 class TestRateLimiter:

@@ -84,6 +84,29 @@ class TestReplicatedDataLake:
         assert lake.retrieve(record.record_id) == b"lazy replication"
 
 
+class TestReplicatedDataLakeChaos:
+    def test_crash_window_fails_over_then_heals(self, replicated):
+        from repro.cloudsim.clock import SimClock
+        from repro.cloudsim.faults import FaultPlan
+
+        clock = SimClock()
+        replicated.fault_plan = FaultPlan(clock=clock).crash_node(
+            "zone-a", 5.0, 10.0)
+        record = replicated.store("ref-1", b"survives the window")
+
+        clock.advance(6.0)   # inside the crash window
+        assert replicated.retrieve(record.record_id) == (
+            b"survives the window")
+        assert replicated.primary_zone != "zone-a"
+        metrics = replicated.monitoring.metrics
+        assert metrics.counter("hadr.promotions") == 1.0
+        assert metrics.counter("hadr.failover_reads") == 1.0
+
+        clock.advance(10.0)  # window over: zone-a heals and catches up
+        replicated.tick_faults()
+        assert replicated.zones_consistent()
+
+
 class TestSigncryption:
     @pytest.fixture(scope="class")
     def parties(self):

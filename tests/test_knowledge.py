@@ -135,6 +135,55 @@ class TestRemoteAndCached:
         assert remote.remote_calls == 2
 
 
+class TestRemoteKbChaos:
+    def test_dropped_link_fails_the_call(self, universe):
+        from repro.cloudsim.faults import FaultPlan
+        from repro.core.errors import ServiceUnavailableError
+
+        clock = SimClock()
+        remote = RemoteKnowledgeBase(PubChemLike(universe), clock,
+                                     round_trip_s=0.08)
+        remote.fault_plan = FaultPlan(seed=0, clock=clock).drop_link(
+            "cloud-a", "external-kb", 1.0)
+        with pytest.raises(ServiceUnavailableError):
+            remote.call("fingerprint", universe.drugs[0].drug_id)
+        assert remote.failed_calls == 1
+        assert clock.now == pytest.approx(0.08)  # timed-out trip still paid
+
+    def test_latency_spike_slows_the_call(self, universe):
+        clock = SimClock()
+        remote = RemoteKnowledgeBase(PubChemLike(universe), clock,
+                                     round_trip_s=0.08)
+        from repro.cloudsim.faults import FaultPlan
+        remote.fault_plan = FaultPlan(clock=clock).spike_link(
+            "cloud-a", "external-kb", 5.0)
+        remote.call("fingerprint", universe.drugs[0].drug_id)
+        assert clock.now == pytest.approx(0.40)
+
+    def test_resilient_call_retries_through_outage(self, universe):
+        from repro.cloudsim.faults import FaultPlan
+        from repro.core.resilience import ResiliencePolicy, ResilientExecutor
+
+        clock = SimClock()
+        remote = RemoteKnowledgeBase(PubChemLike(universe), clock,
+                                     round_trip_s=0.08)
+        # The link drops everything for the first 100 ms of simulated
+        # time; the first attempt fails inside the window, the backoff
+        # pushes the retry past it.
+        remote.fault_plan = FaultPlan(seed=0, clock=clock).drop_link(
+            "cloud-a", "external-kb", 1.0, start_s=0.0, end_s=0.1)
+        remote.resilience = ResilientExecutor(
+            ResiliencePolicy(max_attempts=3, base_backoff_s=0.05,
+                             jitter=0.0, seed=0),
+            clock, None)
+        result = remote.call("fingerprint", universe.drugs[0].drug_id)
+        assert result is not None
+        assert remote.failed_calls == 1
+        assert remote.remote_calls == 1
+        assert remote.resilience.monitoring.metrics.counter(
+            "resilience.kb.pubchem.retries") == 1.0
+
+
 class TestTextMining:
     def test_extraction_finds_signal(self, universe):
         extractor = FactExtractor(universe)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import HealthCloudPlatform
+from repro.core.api import ApiRequest
 from repro.rbac import (
     Action,
     ExternalIdentityProvider,
@@ -36,18 +37,19 @@ def gateway_world():
 
 def _call(gateway, idp, context, path, **kwargs):
     token = idp.issue_token("ops@acme")
-    return gateway.call(path, token,
-                        scope_entity_id=context.tenant.tenant_id,
-                        org_id=context.default_org.org_id,
-                        env_id=context.default_env.env_id, **kwargs)
+    return gateway.dispatch(ApiRequest(
+        path=path, token=token,
+        scope_entity_id=context.tenant.tenant_id,
+        org_id=context.default_org.org_id,
+        env_id=context.default_env.env_id, params=kwargs))
 
 
 class TestPlatformGateway:
     def test_routes_registered(self, gateway_world):
         _, _, gateway, _ = gateway_world
         assert set(gateway.routes()) == {
-            "/ingestion/status", "/reports/operations",
-            "/reports/compliance", "/billing"}
+            "/v1/ingestion/status", "/v1/reports/operations",
+            "/v1/reports/compliance", "/v1/billing"}
 
     def test_operations_report_route(self, gateway_world):
         platform, context, gateway, idp = gateway_world
@@ -99,8 +101,9 @@ class TestPlatformGateway:
         platform.federation.link_identity("hospital-idp", "nobody@acme",
                                           nobody.user_id)
         token = idp.issue_token("nobody@acme")
-        response = gateway.call("/billing", token,
-                                scope_entity_id=context.tenant.tenant_id,
-                                org_id=context.default_org.org_id,
-                                env_id=context.default_env.env_id)
+        response = gateway.dispatch(ApiRequest(
+            path="/billing", token=token,
+            scope_entity_id=context.tenant.tenant_id,
+            org_id=context.default_org.org_id,
+            env_id=context.default_env.env_id))
         assert response.status == 403

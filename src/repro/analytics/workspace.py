@@ -55,11 +55,28 @@ class AnalysisWorkspace:
         self.name = name
         self._cells: List[Tuple[str, CellFn]] = []
         self.namespace: Dict[str, Any] = {}
+        self._prefetched: Dict[str, Dict[Any, Any]] = {}
         self.execution_log: List[CellExecution] = []
         self._artifacts: Dict[str, List[ArtifactVersion]] = {}
         self._artifact_blobs: Dict[str, bytes] = {}
 
     # -- notebook surface ------------------------------------------------------
+
+    def prefetch(self, source: Any, keys: List[Any],
+                 into: str = "prefetched") -> Dict[Any, Any]:
+        """Warm the namespace with one bulk read before cells run.
+
+        ``source`` is anything with a batched ``get_many`` — a
+        :class:`~repro.caching.hierarchy.CacheHierarchy`, a plain
+        :class:`~repro.caching.policies.Cache` — so the whole working set
+        costs one hierarchy walk instead of a per-key lookup per cell.
+        Results land under ``namespace[into]`` and are returned.
+        """
+        batch = source.get_many(list(keys))
+        values = batch if isinstance(batch, dict) else dict(batch.values)
+        self._prefetched.setdefault(into, {}).update(values)
+        self.namespace.setdefault(into, {}).update(values)
+        return values
 
     def add_cell(self, name: str, fn: CellFn) -> int:
         """Append a cell; returns its index."""
@@ -67,8 +84,13 @@ class AnalysisWorkspace:
         return len(self._cells) - 1
 
     def run_all(self) -> List[CellExecution]:
-        """Execute every cell in order against the shared namespace."""
-        self.namespace = {}
+        """Execute every cell in order against the shared namespace.
+
+        Prefetched data survives the reset, so a re-run (e.g. the
+        reproducibility check) sees the same warmed inputs.
+        """
+        self.namespace = {into: dict(values)
+                          for into, values in self._prefetched.items()}
         self.execution_log = []
         for index, (name, fn) in enumerate(self._cells):
             output = fn(self.namespace)

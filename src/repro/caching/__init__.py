@@ -11,12 +11,19 @@ from .consistency import (
     ConsistentCache,
     VersionedStore,
 )
-from .hierarchy import CacheHierarchy, CacheLevel, LookupResult, Origin
+from .hierarchy import (
+    BatchLookupResult,
+    CacheHierarchy,
+    CacheLevel,
+    LookupResult,
+    Origin,
+)
 from .policies import (
     Cache,
     CacheStats,
     LfuCache,
     LruCache,
+    TinyLfuCache,
     TtlCache,
     TwoQueueCache,
     make_cache,
@@ -27,6 +34,7 @@ __all__ = [
     "ConsistencyReport",
     "ConsistentCache",
     "VersionedStore",
+    "BatchLookupResult",
     "CacheHierarchy",
     "CacheLevel",
     "LookupResult",
@@ -35,6 +43,7 @@ __all__ = [
     "CacheStats",
     "LfuCache",
     "LruCache",
+    "TinyLfuCache",
     "TtlCache",
     "TwoQueueCache",
     "make_cache",

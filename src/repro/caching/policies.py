@@ -2,16 +2,19 @@
 
 "Our system employs caching at multiple levels and not just at the client
 level."  This module provides the single-node cache with pluggable
-eviction policies — LRU, LFU, 2Q, and TTL-bounded variants — and hit/miss
-accounting.  The A1 ablation benchmark compares the policies on Zipf,
-looping, and shifting traces.
+eviction policies — LRU, LFU, 2Q, TTL-bounded, and TinyLFU-admission
+variants — and hit/miss accounting.  The A1 ablation benchmark compares
+the policies on Zipf, looping, and shifting traces; the P4 read-path
+benchmark exercises the bulk ``get_many``/``put_many`` surface.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import Counter, OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generic, Hashable, Optional, Tuple, TypeVar
+from typing import (Any, Dict, Generic, Hashable, Iterable, List, Mapping,
+                    Optional, Sequence, Tuple, TypeVar, Union)
 
 from ..core.errors import ConfigurationError
 from ..cloudsim.clock import SimClock
@@ -29,6 +32,9 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     invalidations: int = 0
+    admission_rejections: int = 0   # TinyLFU: writes the sketch turned away
+    batch_gets: int = 0             # get_many calls (hits/misses stay per-key)
+    batch_puts: int = 0             # put_many calls
 
     @property
     def lookups(self) -> int:
@@ -65,18 +71,44 @@ class Cache(Generic[K, V]):
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def _on_miss(self, key: K) -> None:
+        """Hook for policies that learn from misses (TinyLFU's sketch)."""
+
     # Public API --------------------------------------------------------------
+
+    def lookup(self, key: K) -> Tuple[bool, Optional[V]]:
+        """(hit, value) probe that distinguishes a stored None from a miss."""
+        if self._contains(key):
+            self.stats.hits += 1
+            return True, self._read(key)
+        self.stats.misses += 1
+        self._on_miss(key)
+        return False, None
 
     def get(self, key: K) -> Optional[V]:
         """Value for key, or None; updates stats."""
-        if self._contains(key):
-            self.stats.hits += 1
-            return self._read(key)
-        self.stats.misses += 1
-        return None
+        return self.lookup(key)[1]
+
+    def get_many(self, keys: Iterable[K]) -> Dict[K, V]:
+        """Bulk probe: present keys only; per-key hit/miss stats in one pass."""
+        self.stats.batch_gets += 1
+        found: Dict[K, V] = {}
+        for key in keys:
+            hit, value = self.lookup(key)
+            if hit:
+                found[key] = value
+        return found
 
     def put(self, key: K, value: V) -> None:
         self._write(key, value)
+
+    def put_many(self, pairs: Union[Mapping[K, V],
+                                    Iterable[Tuple[K, V]]]) -> None:
+        """Bulk insert (single batched-stats charge)."""
+        self.stats.batch_puts += 1
+        items = pairs.items() if isinstance(pairs, Mapping) else pairs
+        for key, value in items:
+            self._write(key, value)
 
     def invalidate(self, key: K) -> bool:
         """Drop one entry (consistency protocols call this)."""
@@ -123,19 +155,46 @@ class LruCache(Cache[K, V]):
 
 
 class LfuCache(Cache[K, V]):
-    """Least-frequently-used eviction (ties broken by recency)."""
+    """Least-frequently-used eviction (ties broken by recency).
+
+    O(1) per operation: keys live in per-frequency buckets (an OrderedDict
+    each, so insertion order within a bucket is last-touch order), and the
+    victim is the front of the minimum-frequency bucket — the least
+    recently touched among the least frequently used, exactly the old
+    O(n) ``min`` scan's choice.
+    """
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self._data: Dict[K, V] = {}
-        self._freq: Counter = Counter()
-        self._recency: Dict[K, int] = {}
-        self._tick = 0
+        self._freq: Dict[K, int] = {}
+        self._buckets: Dict[int, "OrderedDict[K, None]"] = {}
+        self._min_freq = 0
 
     def _touch(self, key: K) -> None:
-        self._tick += 1
-        self._freq[key] += 1
-        self._recency[key] = self._tick
+        freq = self._freq.get(key, 0)
+        if freq:
+            bucket = self._buckets[freq]
+            del bucket[key]
+            if not bucket:
+                del self._buckets[freq]
+                if self._min_freq == freq:
+                    self._min_freq = freq + 1
+        else:
+            self._min_freq = 1
+        self._freq[key] = freq + 1
+        self._buckets.setdefault(freq + 1, OrderedDict())[key] = None
+
+    def _evict(self) -> None:
+        if self._min_freq not in self._buckets:   # stale after invalidate()
+            self._min_freq = min(self._buckets)
+        bucket = self._buckets[self._min_freq]
+        victim, _ = bucket.popitem(last=False)
+        if not bucket:
+            del self._buckets[self._min_freq]
+        del self._data[victim]
+        del self._freq[victim]
+        self.stats.evictions += 1
 
     def _contains(self, key: K) -> bool:
         return key in self._data
@@ -146,19 +205,17 @@ class LfuCache(Cache[K, V]):
 
     def _write(self, key: K, value: V) -> None:
         if key not in self._data and len(self._data) >= self.capacity:
-            victim = min(self._data,
-                         key=lambda k: (self._freq[k], self._recency[k]))
-            del self._data[victim]
-            del self._freq[victim]
-            del self._recency[victim]
-            self.stats.evictions += 1
+            self._evict()
         self._data[key] = value
         self._touch(key)
 
     def _remove(self, key: K) -> None:
+        freq = self._freq.pop(key)
         del self._data[key]
-        del self._freq[key]
-        del self._recency[key]
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
 
     def __len__(self) -> int:
         return len(self._data)
@@ -166,7 +223,8 @@ class LfuCache(Cache[K, V]):
     def clear(self) -> None:
         self._data.clear()
         self._freq.clear()
-        self._recency.clear()
+        self._buckets.clear()
+        self._min_freq = 0
 
 
 class TwoQueueCache(Cache[K, V]):
@@ -231,6 +289,99 @@ class TwoQueueCache(Cache[K, V]):
         self._main.clear()
 
 
+class _CountMinSketch:
+    """4-row count-min frequency sketch with periodic halving (aging).
+
+    Hashes with seeded CRC-32 over ``repr(key)`` rather than built-in
+    ``hash`` so estimates — and therefore TinyLFU admission decisions —
+    are identical across processes regardless of PYTHONHASHSEED.
+    """
+
+    DEPTH = 4
+
+    def __init__(self, capacity: int, sample_factor: int = 10) -> None:
+        width = 16
+        while width < 4 * capacity:
+            width *= 2
+        self._mask = width - 1
+        self._rows: List[List[int]] = [[0] * width for _ in range(self.DEPTH)]
+        self._sample_size = max(1, sample_factor * capacity)
+        self._additions = 0
+
+    def _indexes(self, key: Hashable) -> List[int]:
+        data = repr(key).encode("utf-8", "backslashreplace")
+        return [zlib.crc32(data, row * 0x9E3779B1) & self._mask
+                for row in range(self.DEPTH)]
+
+    def add(self, key: Hashable) -> None:
+        for row, index in enumerate(self._indexes(key)):
+            self._rows[row][index] += 1
+        self._additions += 1
+        if self._additions >= self._sample_size:
+            self._halve()
+
+    def estimate(self, key: Hashable) -> int:
+        return min(self._rows[row][index]
+                   for row, index in enumerate(self._indexes(key)))
+
+    def _halve(self) -> None:
+        for row in self._rows:
+            for i, count in enumerate(row):
+                row[i] = count >> 1
+        self._additions >>= 1
+
+
+class TinyLfuCache(Cache[K, V]):
+    """LRU main guarded by a TinyLFU admission filter (W-TinyLFU design).
+
+    Every access — hit, miss, or write — feeds a count-min sketch.  When
+    the main is full, a new key is admitted only if its estimated
+    frequency *exceeds* the LRU victim's, so one-hit wonders (scans,
+    exports) bounce off instead of flushing the hot set.  Rejections are
+    counted in ``stats.admission_rejections``.
+    """
+
+    def __init__(self, capacity: int, sample_factor: int = 10) -> None:
+        super().__init__(capacity)
+        self._main: "OrderedDict[K, V]" = OrderedDict()
+        self._sketch = _CountMinSketch(capacity, sample_factor)
+
+    def _contains(self, key: K) -> bool:
+        return key in self._main
+
+    def _read(self, key: K) -> V:
+        self._sketch.add(key)
+        self._main.move_to_end(key)
+        return self._main[key]
+
+    def _on_miss(self, key: K) -> None:
+        self._sketch.add(key)   # repeat misses earn eventual admission
+
+    def _write(self, key: K, value: V) -> None:
+        self._sketch.add(key)
+        if key in self._main:
+            self._main[key] = value
+            self._main.move_to_end(key)
+            return
+        if len(self._main) >= self.capacity:
+            victim = next(iter(self._main))
+            if self._sketch.estimate(key) <= self._sketch.estimate(victim):
+                self.stats.admission_rejections += 1
+                return
+            del self._main[victim]
+            self.stats.evictions += 1
+        self._main[key] = value
+
+    def _remove(self, key: K) -> None:
+        del self._main[key]
+
+    def __len__(self) -> int:
+        return len(self._main)
+
+    def clear(self) -> None:
+        self._main.clear()
+
+
 class TtlCache(Cache[K, V]):
     """LRU bounded by capacity *and* a per-entry time-to-live.
 
@@ -284,7 +435,7 @@ class TtlCache(Cache[K, V]):
 
 def make_cache(policy: str, capacity: int, ttl_s: float = 60.0,
                clock: Optional[SimClock] = None) -> Cache:
-    """Factory used by benchmarks: 'lru' | 'lfu' | '2q' | 'ttl'."""
+    """Factory used by benchmarks: 'lru' | 'lfu' | '2q' | 'ttl' | 'tinylfu'."""
     if policy == "lru":
         return LruCache(capacity)
     if policy == "lfu":
@@ -293,4 +444,6 @@ def make_cache(policy: str, capacity: int, ttl_s: float = 60.0,
         return TwoQueueCache(capacity)
     if policy == "ttl":
         return TtlCache(capacity, ttl_s, clock)
+    if policy == "tinylfu":
+        return TinyLfuCache(capacity)
     raise ConfigurationError(f"unknown cache policy {policy!r}")

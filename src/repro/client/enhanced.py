@@ -43,6 +43,11 @@ class BasicClient:
         """Remote fetch, every time."""
         return self.connection.request(route, {"key": key})
 
+    def fetch_many(self, route: str, keys: List[str]) -> Dict[str, Any]:
+        """Per-key round trips — the baseline the batched client beats."""
+        return {key: self.connection.request(route, {"key": key})
+                for key in keys}
+
     def run_model(self, model_name: str, payload: Dict[str, Any]) -> Any:
         """Analytics always execute server-side."""
         return self.connection.request("/analytics/run",
@@ -80,13 +85,37 @@ class EnhancedClient:
 
     def fetch(self, route: str, key: str) -> Any:
         """Cache-first fetch; misses go to the platform."""
-        cache_key = (route, key)
-        value = self.cache.get(cache_key)
-        if value is not None:
+        hit, value = self.cache.lookup((route, key))
+        if hit:
             return value
         value = self.connection.request(route, {"key": key})
-        self.cache.put(cache_key, value)
+        self.cache.put((route, key), value)
         return value
+
+    def fetch_many(self, route: str, keys: List[str]) -> Dict[str, Any]:
+        """Bulk cache-first fetch: residual misses go as *one* request.
+
+        The server handler for ``route`` receives ``{"keys": [...]}`` and
+        must answer with a dict keyed by those keys; hits never leave the
+        client.
+        """
+        results: Dict[str, Any] = {}
+        misses: List[str] = []
+        for key in keys:
+            if key in results or key in misses:
+                continue   # duplicate within the batch
+            hit, value = self.cache.lookup((route, key))
+            if hit:
+                results[key] = value
+            else:
+                misses.append(key)
+        if misses:
+            fetched = self.connection.request(route, {"keys": misses})
+            for key in misses:
+                value = fetched[key]
+                self.cache.put((route, key), value)
+                results[key] = value
+        return {key: results[key] for key in keys}
 
     # -- edge analytics --------------------------------------------------------------
 

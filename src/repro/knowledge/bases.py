@@ -11,6 +11,9 @@ surface the analytics need:
 * :class:`WordNetLite` — term synonyms [19].
 
 All are keyed lookups so they can sit behind the remote/caching wrappers.
+Each KB also exposes a bulk variant (``fingerprints``, ``targets_many``,
+``fetch_many``, ...) taking an id list, so the remote proxy can ship one
+batched request instead of N round trips (P4 read path).
 """
 
 from __future__ import annotations
@@ -21,6 +24,15 @@ import numpy as np
 
 from ..core.errors import NotFoundError
 from .synthetic import Abstract, BioUniverse
+
+
+def _bulk(table: Dict, ids: Sequence[str], what: str,
+          copy=lambda v: v) -> Dict:
+    """Shared bulk-lookup helper: all-or-nothing over an id list."""
+    missing = [i for i in ids if i not in table]
+    if missing:
+        raise NotFoundError(f"no {what} for {', '.join(sorted(missing))}")
+    return {i: copy(table[i]) for i in ids}
 
 
 class PubChemLike:
@@ -36,6 +48,10 @@ class PubChemLike:
             return self._fingerprints[drug_id]
         except KeyError:
             raise NotFoundError(f"no fingerprint for {drug_id}") from None
+
+    def fingerprints(self, drug_ids: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Bulk lookup: one call for a whole id list."""
+        return _bulk(self._fingerprints, drug_ids, "fingerprint")
 
     def drug_ids(self) -> List[str]:
         return sorted(self._fingerprints)
@@ -56,11 +72,19 @@ class DrugBankLike:
         except KeyError:
             raise NotFoundError(f"no targets for {drug_id}") from None
 
+    def targets_many(self, drug_ids: Sequence[str]) -> Dict[str, Set[str]]:
+        """Bulk lookup: one call for a whole id list."""
+        return _bulk(self._targets, drug_ids, "targets", copy=set)
+
     def therapeutic_class(self, drug_id: str) -> str:
         try:
             return self._classes[drug_id]
         except KeyError:
             raise NotFoundError(f"no class for {drug_id}") from None
+
+    def therapeutic_classes(self, drug_ids: Sequence[str]) -> Dict[str, str]:
+        """Bulk lookup: one call for a whole id list."""
+        return _bulk(self._classes, drug_ids, "class")
 
 
 class SiderLike:
@@ -77,6 +101,11 @@ class SiderLike:
             return set(self._side_effects[drug_id])
         except KeyError:
             raise NotFoundError(f"no side effects for {drug_id}") from None
+
+    def side_effects_many(self, drug_ids: Sequence[str]
+                          ) -> Dict[str, Set[str]]:
+        """Bulk lookup: one call for a whole id list."""
+        return _bulk(self._side_effects, drug_ids, "side effects", copy=set)
 
 
 class DisGeNetLike:
@@ -102,6 +131,11 @@ class DisGeNetLike:
             return set(self._genes_of[disease_id])
         except KeyError:
             raise NotFoundError(f"unknown disease {disease_id}") from None
+
+    def genes_for_diseases(self, disease_ids: Sequence[str]
+                           ) -> Dict[str, Set[str]]:
+        """Bulk lookup: one call for a whole id list."""
+        return _bulk(self._genes_of, disease_ids, "genes", copy=set)
 
     def diseases_for_gene(self, gene: str) -> Set[str]:
         return set(self._diseases_of.get(gene, set()))
@@ -140,6 +174,10 @@ class PubMedLite:
             return self._abstracts[pmid]
         except KeyError:
             raise NotFoundError(f"no abstract {pmid}") from None
+
+    def fetch_many(self, pmids: Sequence[str]) -> Dict[str, Abstract]:
+        """Bulk lookup: one call for a whole pmid list."""
+        return _bulk(self._abstracts, pmids, "abstract")
 
     def search(self, term: str) -> List[str]:
         """PMIDs whose text mentions the term."""

@@ -13,7 +13,7 @@ for callers that need the most up-to-date values.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..cloudsim.clock import SimClock, WAN_ROUND_TRIP
 from ..caching.policies import Cache, LruCache
@@ -33,12 +33,15 @@ class RemoteKnowledgeBase:
     def __init__(self, base: Any, clock: Optional[SimClock] = None,
                  round_trip_s: float = WAN_ROUND_TRIP,
                  link: Tuple[str, str] = ("cloud-a", "external-kb"),
-                 resilience: Optional[Any] = None) -> None:
+                 resilience: Optional[Any] = None,
+                 per_item_cost_s: float = 2e-4) -> None:
         self._base = base
         self.clock = clock if clock is not None else SimClock()
         self.round_trip_s = round_trip_s
+        self.per_item_cost_s = per_item_cost_s
         self.remote_calls = 0
         self.failed_calls = 0
+        self.batched_items = 0
         self.name = getattr(base, "name", type(base).__name__)
         self.link = link
         self.fault_plan = None
@@ -50,6 +53,22 @@ class RemoteKnowledgeBase:
             return self.resilience.call(
                 f"kb.{self.name}", lambda: self._call_once(method, *args))
         return self._call_once(method, *args)
+
+    def call_batch(self, method: str, items: Sequence[Hashable]) -> Any:
+        """Invoke a *bulk* KB method (``fingerprints``, ``targets_many``...)
+        as one request: one round trip plus a per-item marginal cost,
+        instead of N full round trips.
+
+        The batch is atomic under faults: a dropped link fails the whole
+        request, and an attached resilience executor retries it as a
+        whole (counters are only advanced on success, so a retried batch
+        is never double-counted).
+        """
+        items = list(items)
+        if self.resilience is not None:
+            return self.resilience.call(
+                f"kb.{self.name}", lambda: self._call_batch_once(method, items))
+        return self._call_batch_once(method, items)
 
     def _call_once(self, method: str, *args: Hashable) -> Any:
         round_trip = self.round_trip_s
@@ -64,6 +83,22 @@ class RemoteKnowledgeBase:
         self.clock.advance(round_trip)
         self.remote_calls += 1
         return getattr(self._base, method)(*args)
+
+    def _call_batch_once(self, method: str, items: Sequence[Hashable]) -> Any:
+        round_trip = self.round_trip_s + self.per_item_cost_s * len(items)
+        if self.fault_plan is not None:
+            round_trip *= self.fault_plan.latency_multiplier(*self.link)
+            if self.fault_plan.link_dropped(*self.link):
+                self.clock.advance(round_trip)  # the timed-out round trip
+                self.failed_calls += 1
+                raise ServiceUnavailableError(
+                    f"remote KB {self.name}: {self.link[0]}<->{self.link[1]} "
+                    f"dropped a {len(items)}-item batch")
+        self.clock.advance(round_trip)
+        result = getattr(self._base, method)(list(items))
+        self.remote_calls += 1
+        self.batched_items += len(items)
+        return result
 
 
 class CachedKnowledgeBase:
@@ -86,12 +121,41 @@ class CachedKnowledgeBase:
         """Cached lookup; falls through to the remote on a miss."""
         key: Tuple = (method, args)
         self.clock.advance(self.local_access_s)
-        value = self._cache.get(key)
-        if value is not None:
+        hit, value = self._cache.lookup(key)
+        if hit:
             return value
         value = self._remote.call(method, *args)
         self._cache.put(key, value)
         return value
+
+    def get_many(self, method: str, items: Sequence[Hashable],
+                 batch_method: str) -> Dict[Hashable, Any]:
+        """Bulk cached lookup: residual misses ship as *one* batched request.
+
+        ``method`` names the single-item call (its cache keys are shared
+        with :meth:`get`); ``batch_method`` names the KB's bulk variant,
+        which must return a dict keyed by item.
+        """
+        self.clock.advance(self.local_access_s)   # one local probe per batch
+        results: Dict[Hashable, Any] = {}
+        misses: List[Hashable] = []
+        pending = set()
+        for item in items:
+            if item in results or item in pending:
+                continue   # duplicate within the batch: coalesced
+            hit, value = self._cache.lookup((method, (item,)))
+            if hit:
+                results[item] = value
+            else:
+                misses.append(item)
+                pending.add(item)
+        if misses:
+            fetched = self._remote.call_batch(batch_method, misses)
+            for item in misses:
+                value = fetched[item]
+                self._cache.put((method, (item,)), value)
+                results[item] = value
+        return {item: results[item] for item in items}
 
     def refresh(self, method: str, *args: Hashable) -> Any:
         """Bypass the cache for the freshest value, then re-fill."""

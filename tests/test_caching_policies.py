@@ -1,10 +1,15 @@
 """Tests for cache eviction policies."""
 
+from collections import Counter
+
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.caching.policies import (
     LfuCache,
     LruCache,
+    TinyLfuCache,
     TtlCache,
     TwoQueueCache,
     make_cache,
@@ -148,10 +153,164 @@ class TestTtl:
             TtlCache(2, ttl_s=0.0)
 
 
+class _ReferenceLfu:
+    """The pre-P4 O(n) LFU (min scan over (freq, recency)) — the oracle
+    for trace-for-trace eviction equivalence of the O(1) bucket rewrite."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._data = {}
+        self._freq = Counter()
+        self._recency = {}
+        self._tick = 0
+        self.evicted = []
+
+    def _touch(self, key):
+        self._tick += 1
+        self._freq[key] += 1
+        self._recency[key] = self._tick
+
+    def get(self, key):
+        if key in self._data:
+            self._touch(key)
+            return self._data[key]
+        return None
+
+    def put(self, key, value):
+        if key not in self._data and len(self._data) >= self.capacity:
+            victim = min(self._data,
+                         key=lambda k: (self._freq[k], self._recency[k]))
+            del self._data[victim]
+            del self._freq[victim]
+            del self._recency[victim]
+            self.evicted.append(victim)
+        self._data[key] = value
+        self._touch(key)
+
+    def invalidate(self, key):
+        if key in self._data:
+            del self._data[key]
+            del self._freq[key]
+            del self._recency[key]
+
+
+class _TrackingLfu(LfuCache):
+    def __init__(self, capacity):
+        super().__init__(capacity)
+        self.evicted = []
+
+    def _evict(self):
+        before = set(self._data)
+        super()._evict()
+        self.evicted.extend(before - set(self._data))
+
+
+_lfu_ops = st.lists(
+    st.tuples(st.sampled_from(["get", "put", "invalidate"]),
+              st.integers(min_value=0, max_value=9)),
+    min_size=1, max_size=200)
+
+
+class TestLfuO1Equivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(capacity=st.integers(min_value=1, max_value=6), ops=_lfu_ops)
+    def test_eviction_trace_matches_reference(self, capacity, ops):
+        """The O(1) bucket LFU evicts exactly the keys, in exactly the
+        order, of the old O(n) min-scan implementation."""
+        fast = _TrackingLfu(capacity)
+        reference = _ReferenceLfu(capacity)
+        for op, key in ops:
+            if op == "put":
+                fast.put(key, key)
+                reference.put(key, key)
+            elif op == "get":
+                assert fast.get(key) == reference.get(key)
+            else:
+                fast.invalidate(key)
+                reference.invalidate(key)
+            assert fast.evicted == reference.evicted
+            assert set(fast._data) == set(reference._data)
+
+    def test_eviction_is_o1_buckets(self):
+        """Structural check: no O(n) min scan — the victim comes straight
+        off the minimum-frequency bucket."""
+        cache = LfuCache(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        cache.get("b")
+        cache.get("c")
+        assert cache._min_freq == 1
+        assert list(cache._buckets[1]) == ["a"]
+        cache.put("d", "d")          # evicts a straight off bucket 1
+        assert "a" not in cache._data
+        assert cache.stats.evictions == 1
+
+
+class TestTinyLfu:
+    def test_hot_key_survives_scan(self):
+        cache = TinyLfuCache(2)
+        cache.put("hot", 1)
+        for _ in range(5):
+            cache.get("hot")
+        cache.put("warm", 2)
+        # A cold scan cannot displace the hot entries.
+        for i in range(10):
+            cache.put(f"scan-{i}", i)
+        assert cache.get("hot") == 1
+        assert cache.stats.admission_rejections > 0
+
+    def test_repeat_misses_earn_admission(self):
+        cache = TinyLfuCache(1)
+        cache.put("a", 1)
+        for _ in range(3):
+            cache.get("a")
+        assert cache.put("b", 2) is None and cache.get("b") is None
+        for _ in range(6):
+            cache.get("b")          # misses feed the sketch
+        cache.put("b", 2)
+        assert cache.get("b") == 2  # b out-frequencied a
+
+    def test_update_in_place_never_rejected(self):
+        cache = TinyLfuCache(1)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert cache.stats.admission_rejections == 0
+
+    def test_stored_none_distinguishable(self):
+        cache = TinyLfuCache(4)
+        cache.put("k", None)
+        hit, value = cache.lookup("k")
+        assert hit and value is None
+
+    def test_invalidate(self):
+        cache = TinyLfuCache(4)
+        cache.put("a", 1)
+        assert cache.invalidate("a")
+        assert cache.get("a") is None
+
+
+class TestBulkSurface:
+    def test_get_many_counts_per_key_stats(self):
+        cache = LruCache(8)
+        cache.put_many({"a": 1, "b": 2})
+        found = cache.get_many(["a", "b", "c"])
+        assert found == {"a": 1, "b": 2}
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.batch_gets == 1
+        assert cache.stats.batch_puts == 1
+
+    def test_put_many_accepts_pairs(self):
+        cache = LruCache(8)
+        cache.put_many([("a", 1), ("b", 2)])
+        assert cache.get_many(["a", "b"]) == {"a": 1, "b": 2}
+
+
 class TestFactory:
     @pytest.mark.parametrize("policy,cls", [
         ("lru", LruCache), ("lfu", LfuCache), ("2q", TwoQueueCache),
-        ("ttl", TtlCache),
+        ("ttl", TtlCache), ("tinylfu", TinyLfuCache),
     ])
     def test_make_cache(self, policy, cls):
         assert isinstance(make_cache(policy, 16), cls)

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from ..core.errors import EndorsementError, LedgerError, ServiceUnavailableError
 from ..cloudsim.clock import SimClock
 from ..cloudsim.monitoring import MonitoringService
+from ..cloudsim.tracing import maybe_span
 from .chaincode import Chaincode, WorldState
 from .identity import MembershipServiceProvider
 from .ledger import Block, Ledger, Transaction, build_block
@@ -218,6 +219,7 @@ class BlockchainNetwork:
         self.resilience = resilience
         self.degraded_policy = degraded_policy
         self._degraded_tx_ids: set = set()
+        self.tracer = None   # optional request-path tracing hook
 
     def add_peer(self, peer: Peer) -> None:
         self.peers.append(peer)
@@ -233,21 +235,27 @@ class BlockchainNetwork:
         Raises :class:`EndorsementError` when the policy cannot be met.
         """
         tx = self._new_transaction(submitter, chaincode, method, args)
-        endorsements: List[Tuple[str, bytes]] = []
-        orgs: List[str] = []
-        for peer in self.endorsing_peers():
-            try:
-                endorsements.append(self._endorse(peer, tx))
-                orgs.append(peer.organization)
-                self.clock.advance(self.ENDORSE_LATENCY)
-            except Exception as exc:
-                # A failing endorser just doesn't sign — but degraded
-                # endorsement must be visible to operators and benches.
-                self._endorsement_failed(peer, tx, exc)
-        self._require_quorum(tx, endorsements, orgs)
-        endorsed = tx.with_endorsements(endorsements)
-        self.orderer.submit(endorsed)
-        return endorsed
+        with maybe_span(self.tracer, "blockchain.endorse", "blockchain",
+                        tx=tx.tx_id, chaincode=chaincode,
+                        method=method) as span:
+            endorsements: List[Tuple[str, bytes]] = []
+            orgs: List[str] = []
+            for peer in self.endorsing_peers():
+                try:
+                    endorsements.append(self._endorse(peer, tx))
+                    orgs.append(peer.organization)
+                    self.clock.advance(self.ENDORSE_LATENCY)
+                except Exception as exc:
+                    # A failing endorser just doesn't sign — but degraded
+                    # endorsement must be visible to operators and benches.
+                    self._endorsement_failed(peer, tx, exc)
+                    span.add_event("endorsement_failed", self.clock.now,
+                                   peer=peer.peer_id)
+            span.set_attribute("endorsements", len(endorsements))
+            self._require_quorum(tx, endorsements, orgs)
+            endorsed = tx.with_endorsements(endorsements)
+            self.orderer.submit(endorsed)
+            return endorsed
 
     def submit_batch(self, submitter: str,
                      requests: Iterable[Tuple[str, str, Dict[str, Any]]]
@@ -270,14 +278,18 @@ class BlockchainNetwork:
             return []
         endorsements: List[List[Tuple[str, bytes]]] = [[] for _ in txs]
         orgs: List[List[str]] = [[] for _ in txs]
-        for peer in self.endorsing_peers():
-            self.clock.advance(self.ENDORSE_LATENCY)  # one trip per peer
-            for i, tx in enumerate(txs):
-                try:
-                    endorsements[i].append(self._endorse(peer, tx))
-                    orgs[i].append(peer.organization)
-                except Exception as exc:
-                    self._endorsement_failed(peer, tx, exc)
+        with maybe_span(self.tracer, "blockchain.endorse_batch",
+                        "blockchain", transactions=len(txs)) as span:
+            for peer in self.endorsing_peers():
+                self.clock.advance(self.ENDORSE_LATENCY)  # one trip per peer
+                for i, tx in enumerate(txs):
+                    try:
+                        endorsements[i].append(self._endorse(peer, tx))
+                        orgs[i].append(peer.organization)
+                    except Exception as exc:
+                        self._endorsement_failed(peer, tx, exc)
+                        span.add_event("endorsement_failed", self.clock.now,
+                                       peer=peer.peer_id, tx=tx.tx_id)
         endorsed_batch: List[Transaction] = []
         for tx, tx_endorsements, tx_orgs in zip(txs, endorsements, orgs):
             self._require_quorum(tx, tx_endorsements, tx_orgs, in_batch=True)
@@ -355,22 +367,29 @@ class BlockchainNetwork:
     def flush(self) -> List[Block]:
         """Cut and commit every pending block (force the final partial one)."""
         committed: List[Block] = []
-        while True:
-            reference = self.peers[0].ledger if self.peers else None
-            height = reference.height if reference else 0
-            prev = reference.tip_hash if reference else "0" * 64
-            block = self.orderer.cut_block(height, prev, force=True)
-            if block is None:
-                break
-            self.clock.advance(self.ORDER_LATENCY)
-            degraded = frozenset(self._degraded_tx_ids)
-            for peer in self.peers:
-                peer.commit_block(block, self.policy,
-                                  degraded_tx_ids=degraded,
-                                  degraded_policy=self.degraded_policy)
-                self.clock.advance(self.COMMIT_LATENCY)
-            self._degraded_tx_ids -= {tx.tx_id for tx in block.transactions}
-            committed.append(block)
+        with maybe_span(self.tracer, "blockchain.commit", "blockchain") \
+                as span:
+            while True:
+                reference = self.peers[0].ledger if self.peers else None
+                height = reference.height if reference else 0
+                prev = reference.tip_hash if reference else "0" * 64
+                block = self.orderer.cut_block(height, prev, force=True)
+                if block is None:
+                    break
+                self.clock.advance(self.ORDER_LATENCY)
+                degraded = frozenset(self._degraded_tx_ids)
+                for peer in self.peers:
+                    peer.commit_block(block, self.policy,
+                                      degraded_tx_ids=degraded,
+                                      degraded_policy=self.degraded_policy)
+                    self.clock.advance(self.COMMIT_LATENCY)
+                self._degraded_tx_ids -= {tx.tx_id
+                                          for tx in block.transactions}
+                committed.append(block)
+            span.set_attribute("blocks", len(committed))
+            span.set_attribute(
+                "transactions",
+                sum(len(b.transactions) for b in committed))
         return committed
 
     def invoke(self, submitter: str, chaincode: str, method: str,

@@ -33,6 +33,7 @@ from typing import (Any, Callable, Dict, Generic, Hashable, Iterable, List,
 from ..core.errors import ConfigurationError, NotFoundError
 from ..cloudsim.clock import SimClock
 from ..cloudsim.monitoring import MonitoringService
+from ..cloudsim.tracing import Tracer, maybe_span
 from .policies import Cache, CacheStats
 
 K = TypeVar("K", bound=Hashable)
@@ -134,7 +135,8 @@ class CacheHierarchy(Generic[K, V]):
                  clock: Optional[SimClock] = None,
                  promote: bool = True,
                  negative_ttl_s: float = 0.0,
-                 monitoring: Optional[MonitoringService] = None) -> None:
+                 monitoring: Optional[MonitoringService] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         if not levels:
             raise ConfigurationError("hierarchy needs at least one level")
         if negative_ttl_s < 0:
@@ -145,6 +147,7 @@ class CacheHierarchy(Generic[K, V]):
         self.promote = promote
         self.negative_ttl_s = negative_ttl_s
         self.monitoring = monitoring
+        self.tracer = tracer
         self._inflight: Dict[K, _Flight] = {}
         self._negative: Dict[K, float] = {}     # key -> expiry time
         # Hierarchy-level accounting: get_many and coalesced requests do
@@ -171,40 +174,52 @@ class CacheHierarchy(Generic[K, V]):
             self.clock.advance_to(start)
         self.requests += 1
 
-        joined = self._join_flight(key, start)
-        if joined is not None:
-            return joined
+        with maybe_span(self.tracer, "cache.get", "cache",
+                        key=str(key)) as span:
+            joined = self._join_flight(key, start)
+            if joined is not None:
+                span.set_attribute("served_by", joined.served_by)
+                span.set_attribute("coalesced", True)
+                return joined
 
-        if self._negatively_cached(key, start):
-            self.clock.advance(self.levels[0].access_cost_s)
-            raise NotFoundError(
-                f"{key!r}: negatively cached by {self.origin.name}")
+            if self._negatively_cached(key, start):
+                self.clock.advance(self.levels[0].access_cost_s)
+                span.set_attribute("served_by", "negative-cache")
+                raise NotFoundError(
+                    f"{key!r}: negatively cached by {self.origin.name}")
 
-        probed = 0
-        for depth, level in enumerate(self.levels):
-            probed += 1
-            self.clock.advance(level.access_cost_s)
-            hit, value = level.cache.lookup(key)
-            if hit:
-                if self.promote:
-                    self._fill(key, value, upto=depth)
-                return LookupResult(value, level.name,
-                                    self.clock.now - start, probed)
+            probed = 0
+            for depth, level in enumerate(self.levels):
+                probed += 1
+                self.clock.advance(level.access_cost_s)
+                hit, value = level.cache.lookup(key)
+                if hit:
+                    if self.promote:
+                        self._fill(key, value, upto=depth)
+                    span.set_attribute("served_by", level.name)
+                    span.set_attribute("hit_level", depth)
+                    span.set_attribute("levels_probed", probed)
+                    return LookupResult(value, level.name,
+                                        self.clock.now - start, probed)
 
-        self.clock.advance(self.origin.access_cost_s
-                           + self.origin.per_item_cost_s)
-        self.origin_loads += 1
-        self._metric("cache.origin_loads")
-        try:
-            value = self.origin.load(key)
-        except NotFoundError:
-            self._record_not_found(key)
-            raise
-        self._record_flight(key, _Flight(self.clock.now, value,
-                                         self.origin.name))
-        self._fill(key, value, upto=len(self.levels))
-        return LookupResult(value, self.origin.name,
-                            self.clock.now - start, probed)
+            span.set_attribute("served_by", self.origin.name)
+            span.set_attribute("levels_probed", probed)
+            with maybe_span(self.tracer, "cache.origin_fetch", "cache",
+                            origin=self.origin.name, keys=1):
+                self.clock.advance(self.origin.access_cost_s
+                                   + self.origin.per_item_cost_s)
+                self.origin_loads += 1
+                self._metric("cache.origin_loads")
+                try:
+                    value = self.origin.load(key)
+                except NotFoundError:
+                    self._record_not_found(key)
+                    raise
+            self._record_flight(key, _Flight(self.clock.now, value,
+                                             self.origin.name))
+            self._fill(key, value, upto=len(self.levels))
+            return LookupResult(value, self.origin.name,
+                                self.clock.now - start, probed)
 
     # -- batched path --------------------------------------------------------
 
@@ -224,6 +239,17 @@ class CacheHierarchy(Generic[K, V]):
         self.batched_lookups += 1
         self._metric("cache.batched_lookups")
         self.requests += len(all_keys)
+        with maybe_span(self.tracer, "cache.get_many", "cache",
+                        keys=len(all_keys)) as span:
+            result = self._get_many(all_keys, start)
+            span.set_attribute("origin_keys", result.origin_keys)
+            span.set_attribute("coalesced", result.coalesced)
+            span.set_attribute("levels_probed", result.levels_probed)
+            span.set_attribute("missing", len(result.missing))
+            return result
+
+    def _get_many(self, all_keys: List[K], start: float
+                  ) -> BatchLookupResult:
 
         unique: List[K] = []
         seen = set()
@@ -275,11 +301,14 @@ class CacheHierarchy(Generic[K, V]):
 
         origin_keys = len(remaining)
         if remaining:
-            self.clock.advance(self.origin.access_cost_s
-                               + self.origin.per_item_cost_s * len(remaining))
-            self.origin_loads += len(remaining)
-            self._metric("cache.origin_loads", len(remaining))
-            loaded = self.origin.load_many(remaining)
+            with maybe_span(self.tracer, "cache.origin_fetch", "cache",
+                            origin=self.origin.name, keys=len(remaining)):
+                self.clock.advance(
+                    self.origin.access_cost_s
+                    + self.origin.per_item_cost_s * len(remaining))
+                self.origin_loads += len(remaining)
+                self._metric("cache.origin_loads", len(remaining))
+                loaded = self.origin.load_many(remaining)
             completes = self.clock.now
             for key in remaining:
                 served[key] = self.origin.name

@@ -22,8 +22,24 @@ from .faults import (
     LinkDropFault,
     NodeCrashFault,
 )
-from .monitoring import LogEntry, LogStore, MetricsRegistry, MonitoringService, scrub
+from .monitoring import (
+    LogEntry,
+    LogStore,
+    MetricsRegistry,
+    MonitoringService,
+    scrub,
+    scrub_value,
+)
 from .network import Link, NetworkFabric, TransferRecord, standard_topology
+from .tracing import (
+    CriticalPath,
+    PathSegment,
+    Span,
+    SpanEvent,
+    TraceContext,
+    Tracer,
+    maybe_span,
+)
 from .nodes import (
     Container,
     Datacenter,
@@ -54,6 +70,14 @@ __all__ = [
     "MetricsRegistry",
     "MonitoringService",
     "scrub",
+    "scrub_value",
+    "CriticalPath",
+    "PathSegment",
+    "Span",
+    "SpanEvent",
+    "TraceContext",
+    "Tracer",
+    "maybe_span",
     "Link",
     "NetworkFabric",
     "TransferRecord",

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import re
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Pattern
+from typing import Any, Callable, Dict, Iterable, List, Optional, Pattern, Tuple
 
-from ..core.errors import IntegrityError
+from ..core.errors import ConfigurationError, IntegrityError
 from .clock import SimClock
 
 # Patterns that must never appear in logs (PHI scrubbing, Section IV-E:
@@ -31,6 +32,26 @@ def scrub(message: str) -> str:
     for pattern in _SENSITIVE_PATTERNS:
         message = pattern.sub("[REDACTED]", message)
     return message
+
+
+def scrub_value(value: Any) -> Any:
+    """Recursively scrub every string inside a log attribute value.
+
+    Attributes arrive as arbitrarily nested dicts/lists/tuples (e.g. a
+    whole patient record passed as ``patient={...}``); scrubbing only the
+    top-level strings would let an SSN ride into the hash chain inside a
+    nested dict.  Dict *keys* are scrubbed too — a sensitive value used
+    as a key leaks just the same.
+    """
+    if isinstance(value, str):
+        return scrub(value)
+    if isinstance(value, dict):
+        return {(scrub(k) if isinstance(k, str) else k): scrub_value(v)
+                for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        scrubbed = [scrub_value(v) for v in value]
+        return scrubbed if isinstance(value, list) else tuple(scrubbed)
+    return value
 
 
 @dataclass(frozen=True)
@@ -67,10 +88,17 @@ class LogStore:
 
     def append(self, stream: str, message: str, level: str = "INFO",
                **attributes: Any) -> LogEntry:
-        """Append a scrubbed entry and return it."""
+        """Append a scrubbed entry and return it.
+
+        Attributes are scrubbed recursively and validated as
+        JSON-serializable *before* anything is hashed, so a bad log call
+        raises a typed :class:`ConfigurationError` (naming the offending
+        key) instead of half-corrupting the append-only chain with a raw
+        ``TypeError`` from ``json.dumps``.
+        """
         message = scrub(message)
-        attributes = {k: scrub(v) if isinstance(v, str) else v
-                      for k, v in attributes.items()}
+        attributes = {k: scrub_value(v) for k, v in attributes.items()}
+        self._require_serializable(attributes)
         index = len(self._entries)
         prev_hash = self._entries[-1].entry_hash if self._entries else self.GENESIS
         timestamp = self.clock.now
@@ -80,6 +108,21 @@ class LogStore:
                          dict(attributes), prev_hash, entry_hash)
         self._entries.append(entry)
         return entry
+
+    @staticmethod
+    def _require_serializable(attributes: Dict[str, Any]) -> None:
+        try:
+            json.dumps(attributes, sort_keys=True)
+        except (TypeError, ValueError):
+            for key, value in attributes.items():
+                try:
+                    json.dumps({key: value}, sort_keys=True)
+                except (TypeError, ValueError) as exc:
+                    raise ConfigurationError(
+                        f"log attribute {key!r} is not JSON-serializable: "
+                        f"{exc}") from None
+            raise ConfigurationError(
+                "log attributes are not JSON-serializable") from None
 
     def entries(self, stream: Optional[str] = None,
                 level: Optional[str] = None) -> List[LogEntry]:
@@ -116,6 +159,7 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, List[float]] = {}
+        self._exemplars: Dict[str, Tuple[float, str]] = {}
 
     def incr(self, name: str, value: float = 1.0) -> float:
         self._counters[name] = self._counters.get(name, 0.0) + value
@@ -130,18 +174,40 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Optional[float]:
         return self._gauges.get(name)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float,
+                trace_id: Optional[str] = None) -> None:
+        """Record a histogram sample, optionally tagged with the trace
+        that produced it.  The worst (largest) traced sample is kept as
+        the histogram's exemplar, so an outlier in a latency summary
+        links straight back to its span tree."""
         self._histograms.setdefault(name, []).append(value)
+        if trace_id is not None:
+            current = self._exemplars.get(name)
+            if current is None or value >= current[0]:
+                self._exemplars[name] = (value, trace_id)
+
+    def exemplar(self, name: str) -> Optional[Dict[str, Any]]:
+        """The worst traced sample of a histogram: value + trace id."""
+        record = self._exemplars.get(name)
+        if record is None:
+            return None
+        return {"value": record[0], "trace_id": record[1]}
 
     def summary(self, name: str) -> Dict[str, float]:
-        """count/mean/min/max/p50/p95/p99 for a histogram."""
+        """count/mean/min/max/p50/p95/p99 for a histogram.
+
+        Percentiles use the nearest-rank definition: the p-th percentile
+        of n sorted samples is the value at rank ``ceil(p*n)`` (1-based),
+        i.e. index ``ceil(p*n) - 1``.  The previous ``int(p*n)`` indexing
+        overshot by one rank — p50 of ``[1.0, 2.0]`` reported the max.
+        """
         values = sorted(self._histograms.get(name, []))
         if not values:
             return {"count": 0}
         n = len(values)
 
         def pct(p: float) -> float:
-            return values[min(n - 1, int(p * n))]
+            return values[min(n - 1, max(0, math.ceil(p * n) - 1))]
 
         return {
             "count": n,

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..cloudsim.clock import SimClock
 from ..cloudsim.monitoring import MonitoringService
+from ..cloudsim.tracing import TraceContext, Tracer, maybe_span
 from ..core.errors import (
     ConfigurationError,
     DeadlineExceededError,
@@ -144,6 +145,10 @@ class RequestContext:
     tenant_id: str
     request_id: str
     deadline_s: Optional[float] = None
+    # Propagation handle for request-path tracing: handlers pass it (or
+    # just run under the gateway's tracer) so downstream spans join the
+    # dispatch's trace tree.  None when the gateway is untraced.
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -163,9 +168,11 @@ class ApiGateway:
                  monitoring: Optional[MonitoringService] = None,
                  clock: Optional[SimClock] = None,
                  rate_limit: int = 100, rate_window_s: float = 60.0,
-                 meter: Optional[Callable[[str, str], None]] = None) -> None:
+                 meter: Optional[Callable[[str, str], None]] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.rbac = rbac
         self.federation = federation
+        self.tracer = tracer
         self.clock = clock if clock is not None else SimClock()
         self.monitoring = (monitoring if monitoring is not None
                            else MonitoringService(self.clock))
@@ -204,17 +211,30 @@ class ApiGateway:
         """
         self._request_counter += 1
         request_id = f"req-{self._request_counter:08d}"
-        try:
-            body = self._handle(request, request_id)
-        except Exception as exc:
-            status = http_status_for(exc)
-            self.monitoring.log(
-                "api", f"{request_id} {status} {request.path}: {exc}",
-                level="ERROR" if status >= 500 else "WARN")
-            self.monitoring.metrics.incr(f"api.status.{status}")
-            return ApiResponse(status, {"error": str(exc)}, request_id)
-        self.monitoring.metrics.incr("api.status.200")
-        return ApiResponse(200, body, request_id)
+        started = self.clock.now
+        with maybe_span(self.tracer, "api.dispatch", "gateway",
+                        path=request.path, request_id=request_id) as span:
+            try:
+                body = self._handle(request, request_id)
+            except Exception as exc:
+                status = http_status_for(exc)
+                span.set_attribute("http.status", status)
+                span.set_status("ERROR", f"{type(exc).__name__}: {exc}")
+                self.monitoring.log(
+                    "api", f"{request_id} {status} {request.path}: {exc}",
+                    level="ERROR" if status >= 500 else "WARN",
+                    trace=span.trace_id)
+                self.monitoring.metrics.incr(f"api.status.{status}")
+                self.monitoring.metrics.observe(
+                    "api.latency", self.clock.now - started,
+                    trace_id=span.trace_id)
+                return ApiResponse(status, {"error": str(exc)}, request_id)
+            span.set_attribute("http.status", 200)
+            self.monitoring.metrics.incr("api.status.200")
+            self.monitoring.metrics.observe(
+                "api.latency", self.clock.now - started,
+                trace_id=span.trace_id)
+            return ApiResponse(200, body, request_id)
 
     def _handle(self, request: ApiRequest, request_id: str) -> Any:
         route = self._resolve(request.path)
@@ -238,15 +258,19 @@ class ApiGateway:
 
         # 4. Deadline, dispatch, meter, audit.
         self._check_deadline(request, "before dispatch")
+        trace = (self.tracer.current_context()
+                 if self.tracer is not None else None)
         context = RequestContext(user=user, tenant_id=user.tenant_id,
                                  request_id=request_id,
-                                 deadline_s=request.deadline_s)
+                                 deadline_s=request.deadline_s,
+                                 trace=trace)
         body = route.handler(context, **dict(request.params))
         self._check_deadline(request, "after handler")
         if self._meter is not None:
             self._meter(user.tenant_id, route.path)
         self.monitoring.log(
-            "api", f"{request_id} 200 {request.path} user {user.user_id}")
+            "api", f"{request_id} 200 {request.path} user {user.user_id}",
+            trace=trace.trace_id if trace is not None else None)
         self.monitoring.metrics.incr(f"api.{route.path}.200")
         return body
 

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from ..cloudsim.clock import SimClock
 from ..cloudsim.monitoring import MonitoringService
+from ..cloudsim.tracing import Tracer, maybe_span
 from .errors import ConfigurationError, DeadlineExceededError, ServiceUnavailableError
 
 
@@ -143,11 +144,13 @@ class ResilientExecutor:
 
     def __init__(self, policy: Optional[ResiliencePolicy] = None,
                  clock: Optional[SimClock] = None,
-                 monitoring: Optional[MonitoringService] = None) -> None:
+                 monitoring: Optional[MonitoringService] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.clock = clock if clock is not None else SimClock()
         self.monitoring = (monitoring if monitoring is not None
                            else MonitoringService(self.clock))
+        self.tracer = tracer
         self._rng = random.Random(self.policy.seed)
         self._breakers: Dict[str, CircuitBreaker] = {}
         self.retries_left = self.policy.retry_budget
@@ -169,71 +172,101 @@ class ResilientExecutor:
         targets: list = [(name, fn)] + list(fallbacks)
         last_error: Optional[Exception] = None
         hedged = False
-        for index, (target_name, target_fn) in enumerate(targets):
-            breaker = self.breaker(target_name)
-            if not breaker.allow():
-                self._metric(f"resilience.{target_name}.rejected_open")
-                last_error = ServiceUnavailableError(
-                    f"{target_name}: circuit breaker open")
+        with maybe_span(self.tracer, f"resilience.{name}", "resilience",
+                        target=name, fallbacks=len(fallbacks)) as span:
+            for index, (target_name, target_fn) in enumerate(targets):
+                breaker = self.breaker(target_name)
+                if not breaker.allow():
+                    self._metric(f"resilience.{target_name}.rejected_open")
+                    span.add_event("breaker.rejected_open", self.clock.now,
+                                   target=target_name)
+                    last_error = ServiceUnavailableError(
+                        f"{target_name}: circuit breaker open")
+                    if index + 1 < len(targets):
+                        self._metric("resilience.failover")
+                        span.add_event("failover", self.clock.now,
+                                       from_target=target_name)
+                    continue
+                try:
+                    result = self._attempts(
+                        target_name, target_fn, breaker,
+                        hedge_remaining=index + 1 < len(targets))
+                    span.set_attribute("served_by", target_name)
+                    return result
+                except _HedgeNow as hedge:
+                    last_error = hedge.error
+                    hedged = True
+                    self._metric("resilience.hedged")
+                    span.add_event("hedge.fired", self.clock.now,
+                                   from_target=target_name)
+                except Exception as exc:
+                    last_error = exc
                 if index + 1 < len(targets):
                     self._metric("resilience.failover")
-                continue
-            try:
-                return self._attempts(target_name, target_fn, breaker,
-                                      hedge_remaining=index + 1 < len(targets))
-            except _HedgeNow as hedge:
-                last_error = hedge.error
-                hedged = True
-                self._metric("resilience.hedged")
-            except Exception as exc:
-                last_error = exc
-            if index + 1 < len(targets):
-                self._metric("resilience.failover")
-        assert last_error is not None
-        if hedged:  # all hedge targets failed too
-            self._metric("resilience.hedge_failed")
-        raise last_error
+                    span.add_event("failover", self.clock.now,
+                                   from_target=target_name)
+            assert last_error is not None
+            if hedged:  # all hedge targets failed too
+                self._metric("resilience.hedge_failed")
+                span.add_event("hedge.failed", self.clock.now)
+            raise last_error
 
     def _attempts(self, name: str, fn: Callable[[], Any],
                   breaker: CircuitBreaker, hedge_remaining: bool) -> Any:
         policy = self.policy
         last_error: Optional[Exception] = None
         for attempt in range(policy.max_attempts):
-            if attempt > 0:
-                if self.retries_left <= 0:
-                    self._metric("resilience.budget_exhausted")
-                    break
-                self.retries_left -= 1
-                self._metric(f"resilience.{name}.retries")
-                self._metric("resilience.retries")
-                self.clock.advance(policy.backoff_s(attempt - 1, self._rng))
-                if not breaker.allow():  # opened under us mid-loop
-                    self._metric(f"resilience.{name}.rejected_open")
-                    break
-            started = self.clock.now
-            try:
-                result = fn()
-            except Exception as exc:
-                breaker.record_failure()
-                self._metric(f"resilience.{name}.failures")
-                last_error = exc
-                continue
-            elapsed = self.clock.now - started
-            if elapsed > policy.timeout_s:
-                breaker.record_failure()
-                self._metric(f"resilience.{name}.timeouts")
-                last_error = DeadlineExceededError(
-                    f"{name}: attempt took {elapsed:.3f}s "
-                    f"(> {policy.timeout_s}s)")
-                continue
-            breaker.record_success()
-            self._metric(f"resilience.{name}.success")
-            if (policy.hedge_after_s is not None and hedge_remaining
-                    and elapsed > policy.hedge_after_s):
-                # Slow success: note that a hedge *would* have fired.  The
-                # result stands — sequential simulation can't race them.
-                self._metric("resilience.hedge_would_fire")
-            return result
+            with maybe_span(self.tracer, "resilience.attempt", "resilience",
+                            target=name, attempt=attempt) as span:
+                if attempt > 0:
+                    if self.retries_left <= 0:
+                        self._metric("resilience.budget_exhausted")
+                        span.add_event("retry_budget_exhausted",
+                                       self.clock.now)
+                        break
+                    self.retries_left -= 1
+                    self._metric(f"resilience.{name}.retries")
+                    self._metric("resilience.retries")
+                    backoff = policy.backoff_s(attempt - 1, self._rng)
+                    self.clock.advance(backoff)
+                    span.add_event("backoff", self.clock.now,
+                                   backoff_s=backoff)
+                    if not breaker.allow():  # opened under us mid-loop
+                        self._metric(f"resilience.{name}.rejected_open")
+                        span.add_event("breaker.rejected_open",
+                                       self.clock.now, target=name)
+                        break
+                started = self.clock.now
+                try:
+                    result = fn()
+                except Exception as exc:
+                    breaker.record_failure()
+                    self._metric(f"resilience.{name}.failures")
+                    span.set_status("ERROR", f"{type(exc).__name__}: {exc}")
+                    last_error = exc
+                    continue
+                elapsed = self.clock.now - started
+                if elapsed > policy.timeout_s:
+                    breaker.record_failure()
+                    self._metric(f"resilience.{name}.timeouts")
+                    span.set_status(
+                        "ERROR", f"timeout after {elapsed:.3f}s")
+                    span.set_attribute("timeout", True)
+                    last_error = DeadlineExceededError(
+                        f"{name}: attempt took {elapsed:.3f}s "
+                        f"(> {policy.timeout_s}s)")
+                    continue
+                breaker.record_success()
+                self._metric(f"resilience.{name}.success")
+                if (policy.hedge_after_s is not None and hedge_remaining
+                        and elapsed > policy.hedge_after_s):
+                    # Slow success: note that a hedge *would* have fired.
+                    # The result stands — sequential simulation can't race
+                    # them.
+                    self._metric("resilience.hedge_would_fire")
+                    span.add_event("hedge.would_fire", self.clock.now,
+                                   elapsed_s=elapsed)
+                return result
         assert last_error is not None
         if policy.hedge_after_s is not None and hedge_remaining:
             raise _HedgeNow(last_error)

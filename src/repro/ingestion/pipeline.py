@@ -29,6 +29,7 @@ from ..blockchain.chaincode import provenance_event_leaf
 from ..blockchain.network import BlockchainNetwork
 from ..cloudsim.clock import SimClock
 from ..cloudsim.monitoring import MonitoringService
+from ..cloudsim.tracing import maybe_span
 from ..core.errors import (
     AuthenticationError,
     IngestionError,
@@ -142,6 +143,7 @@ class IngestionService:
         # flush instead of one endorsed transaction per event; 1 keeps the
         # paper's original event-per-transaction behaviour.
         self.provenance_batch_size = provenance_batch_size
+        self.tracer = None   # optional request-path tracing hook
         self._event_buffer: List[Dict[str, Any]] = []
         self._report_buffer: List[Tuple[str, str, Dict[str, Any]]] = []
         self._batch_counter = 0
@@ -205,15 +207,22 @@ class IngestionService:
         batch_size = max(1, batch_size)
         processed = 0
         in_batch = 0
-        while self._queue and (limit is None or processed < limit):
-            job_id = self._queue.popleft()
-            self._process(self._jobs[job_id])
-            processed += 1
-            in_batch += 1
-            if in_batch >= batch_size:
-                self.flush_provenance()
-                in_batch = 0
-        self.flush_provenance()
+        with maybe_span(self.tracer, "ingestion.process_pending",
+                        "ingestion", batch_size=batch_size) as span:
+            while self._queue and (limit is None or processed < limit):
+                job_id = self._queue.popleft()
+                job = self._jobs[job_id]
+                with maybe_span(self.tracer, "ingestion.job", "ingestion",
+                                job=job_id) as job_span:
+                    self._process(job)
+                    job_span.set_attribute("status", job.status.value)
+                processed += 1
+                in_batch += 1
+                if in_batch >= batch_size:
+                    self.flush_provenance()
+                    in_batch = 0
+            self.flush_provenance()
+            span.set_attribute("processed", processed)
         return processed
 
     def flush_provenance(self) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..cloudsim.clock import SimClock, WAN_ROUND_TRIP
+from ..cloudsim.tracing import maybe_span
 from ..caching.policies import Cache, LruCache
 from ..core.errors import ServiceUnavailableError
 
@@ -46,6 +47,7 @@ class RemoteKnowledgeBase:
         self.link = link
         self.fault_plan = None
         self.resilience = resilience
+        self.tracer = None   # optional request-path tracing hook
 
     def call(self, method: str, *args: Hashable) -> Any:
         """Invoke a KB method remotely (clock advances by one round trip)."""
@@ -71,34 +73,43 @@ class RemoteKnowledgeBase:
         return self._call_batch_once(method, items)
 
     def _call_once(self, method: str, *args: Hashable) -> Any:
-        round_trip = self.round_trip_s
-        if self.fault_plan is not None:
-            round_trip *= self.fault_plan.latency_multiplier(*self.link)
-            if self.fault_plan.link_dropped(*self.link):
-                self.clock.advance(round_trip)  # the timed-out round trip
-                self.failed_calls += 1
-                raise ServiceUnavailableError(
-                    f"remote KB {self.name}: {self.link[0]}<->{self.link[1]} "
-                    "dropped the request")
-        self.clock.advance(round_trip)
-        self.remote_calls += 1
-        return getattr(self._base, method)(*args)
+        with maybe_span(self.tracer, "kb.call", "knowledge",
+                        kb=self.name, method=method) as span:
+            round_trip = self.round_trip_s
+            if self.fault_plan is not None:
+                round_trip *= self.fault_plan.latency_multiplier(*self.link)
+                if self.fault_plan.link_dropped(*self.link):
+                    self.clock.advance(round_trip)  # the timed-out trip
+                    self.failed_calls += 1
+                    span.set_attribute("dropped", True)
+                    raise ServiceUnavailableError(
+                        f"remote KB {self.name}: "
+                        f"{self.link[0]}<->{self.link[1]} "
+                        "dropped the request")
+            self.clock.advance(round_trip)
+            self.remote_calls += 1
+            return getattr(self._base, method)(*args)
 
     def _call_batch_once(self, method: str, items: Sequence[Hashable]) -> Any:
-        round_trip = self.round_trip_s + self.per_item_cost_s * len(items)
-        if self.fault_plan is not None:
-            round_trip *= self.fault_plan.latency_multiplier(*self.link)
-            if self.fault_plan.link_dropped(*self.link):
-                self.clock.advance(round_trip)  # the timed-out round trip
-                self.failed_calls += 1
-                raise ServiceUnavailableError(
-                    f"remote KB {self.name}: {self.link[0]}<->{self.link[1]} "
-                    f"dropped a {len(items)}-item batch")
-        self.clock.advance(round_trip)
-        result = getattr(self._base, method)(list(items))
-        self.remote_calls += 1
-        self.batched_items += len(items)
-        return result
+        with maybe_span(self.tracer, "kb.call_batch", "knowledge",
+                        kb=self.name, method=method,
+                        items=len(items)) as span:
+            round_trip = self.round_trip_s + self.per_item_cost_s * len(items)
+            if self.fault_plan is not None:
+                round_trip *= self.fault_plan.latency_multiplier(*self.link)
+                if self.fault_plan.link_dropped(*self.link):
+                    self.clock.advance(round_trip)  # the timed-out trip
+                    self.failed_calls += 1
+                    span.set_attribute("dropped", True)
+                    raise ServiceUnavailableError(
+                        f"remote KB {self.name}: "
+                        f"{self.link[0]}<->{self.link[1]} "
+                        f"dropped a {len(items)}-item batch")
+            self.clock.advance(round_trip)
+            result = getattr(self._base, method)(list(items))
+            self.remote_calls += 1
+            self.batched_items += len(items)
+            return result
 
 
 class CachedKnowledgeBase:

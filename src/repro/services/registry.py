@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cloudsim.clock import SimClock
+from ..cloudsim.tracing import maybe_span
 from ..core.errors import ConfigurationError, ServiceUnavailableError
 
 
@@ -113,6 +114,7 @@ class ServiceRegistry:
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock if clock is not None else SimClock()
+        self.tracer = None   # optional request-path tracing hook
         self._services: Dict[str, SimulatedAiService] = {}
         self._calls: Dict[str, List[ServiceCallRecord]] = {}
         self._accuracy: Dict[str, float] = {}
@@ -157,24 +159,31 @@ class ServiceRegistry:
         breakers are skipped at *selection* time too, so a known-bad
         provider stops being picked until its half-open probe succeeds.
         """
-        ranked = self.ranked_services(capability)
-        open_skipped = [name for name in ranked
-                        if not executor.breaker(f"ai.{name}").allow()]
-        usable = [name for name in ranked if name not in open_skipped]
-        if not usable:
-            usable = ranked  # all breakers open: let the probe logic decide
-        else:
-            for _ in open_skipped:
-                executor.monitoring.metrics.incr("services.selection_skips")
-        primary, *rest = usable
-        return executor.call(
-            f"ai.{primary}",
-            lambda: self.invoke(primary, task_input, ground_truth),
-            fallbacks=[
-                (f"ai.{name}",
-                 lambda name=name: self.invoke(name, task_input, ground_truth))
-                for name in rest
-            ])
+        with maybe_span(self.tracer, "services.invoke_resilient", "services",
+                        capability=capability) as span:
+            ranked = self.ranked_services(capability)
+            open_skipped = [name for name in ranked
+                            if not executor.breaker(f"ai.{name}").allow()]
+            usable = [name for name in ranked if name not in open_skipped]
+            if not usable:
+                usable = ranked  # all breakers open: probe logic decides
+            else:
+                for name in open_skipped:
+                    executor.monitoring.metrics.incr(
+                        "services.selection_skips")
+                    span.add_event("selection_skip", self.clock.now,
+                                   service=name)
+            span.set_attribute("primary", usable[0])
+            primary, *rest = usable
+            return executor.call(
+                f"ai.{primary}",
+                lambda: self.invoke(primary, task_input, ground_truth),
+                fallbacks=[
+                    (f"ai.{name}",
+                     lambda name=name: self.invoke(name, task_input,
+                                                   ground_truth))
+                    for name in rest
+                ])
 
     def ranked_services(self, capability: str) -> List[str]:
         """Providers for a capability, best (per the evidence) first."""

@@ -10,8 +10,9 @@ from repro.cloudsim.monitoring import (
     MetricsRegistry,
     MonitoringService,
     scrub,
+    scrub_value,
 )
-from repro.core.errors import IntegrityError
+from repro.core.errors import ConfigurationError, IntegrityError
 
 
 class TestScrubbing:
@@ -32,6 +33,39 @@ class TestScrubbing:
         store = LogStore()
         entry = store.append("ingest", "ok", contact="reach me at a@b.com")
         assert "a@b.com" not in entry.attributes["contact"]
+
+    def test_nested_dict_attribute_scrubbed(self):
+        # Regression: only top-level str values used to be scrubbed, so a
+        # nested dict carried the SSN verbatim into the hash chain.
+        store = LogStore()
+        entry = store.append("ingest", "ok",
+                             patient={"ssn": "123-45-6789",
+                                      "contact": {"email": "a@b.com"}})
+        assert entry.attributes["patient"]["ssn"] == "[REDACTED]"
+        assert entry.attributes["patient"]["contact"]["email"] == "[REDACTED]"
+        assert "123-45-6789" not in store.entries()[0].entry_hash  # sanity
+        assert store.verify_chain()
+
+    def test_nested_list_and_tuple_attributes_scrubbed(self):
+        store = LogStore()
+        entry = store.append(
+            "ingest", "ok",
+            contacts=["a@b.com", {"card": "4111 1111 1111 1111"}],
+            pair=("ssn 123-45-6789", 7))
+        assert entry.attributes["contacts"][0] == "[REDACTED]"
+        assert entry.attributes["contacts"][1]["card"] == "[REDACTED]"
+        assert isinstance(entry.attributes["pair"], tuple)
+        assert "123-45-6789" not in entry.attributes["pair"][0]
+        assert entry.attributes["pair"][1] == 7
+
+    def test_sensitive_dict_keys_scrubbed(self):
+        scrubbed = scrub_value({"a@b.com": "x"})
+        assert list(scrubbed) == ["[REDACTED]"]
+
+    def test_scrub_value_leaves_scalars_alone(self):
+        assert scrub_value(3.5) == 3.5
+        assert scrub_value(None) is None
+        assert scrub_value(True) is True
 
 
 class TestLogChain:
@@ -74,6 +108,30 @@ class TestLogChain:
         entry = store.append("s", "second")
         assert entry.timestamp == 5.0
 
+    def test_non_serializable_attribute_raises_typed_error(self):
+        # Regression: json.dumps used to raise a raw TypeError from inside
+        # the hash computation; now the bad call is rejected up front with
+        # a ConfigurationError naming the offending key.
+        store = LogStore()
+        store.append("s", "good")
+        with pytest.raises(ConfigurationError, match="'weird'"):
+            store.append("s", "bad", fine=1, weird={1, 2, 3})
+        # The chain is untouched by the failed append.
+        assert len(store) == 1
+        assert store.verify_chain()
+        store.append("s", "still fine")
+        assert store.verify_chain()
+
+    def test_non_serializable_dataclass_attribute_rejected(self):
+        @dataclasses.dataclass
+        class Unserializable:
+            x: int = 1
+
+        store = LogStore()
+        with pytest.raises(ConfigurationError, match="'payload'"):
+            store.append("s", "bad", payload=Unserializable())
+        assert len(store) == 0
+
 
 class TestMetrics:
     def test_counter(self):
@@ -96,11 +154,51 @@ class TestMetrics:
         assert summary["count"] == 100
         assert summary["min"] == 1.0
         assert summary["max"] == 100.0
-        assert summary["p50"] == pytest.approx(51.0)
-        assert 95 <= summary["p95"] <= 97
+        # Nearest-rank: p50 of 1..100 is the 50th ranked value.
+        assert summary["p50"] == pytest.approx(50.0)
+        assert summary["p95"] == pytest.approx(95.0)
+        assert summary["p99"] == pytest.approx(99.0)
+
+    def test_percentile_nearest_rank_exact_values(self):
+        # Regression: values[int(p*n)] overshot by one rank — p50 of
+        # [1.0, 2.0] reported 2.0 (the max).  Nearest-rank is
+        # values[ceil(p*n) - 1].
+        def summary_of(values):
+            metrics = MetricsRegistry()
+            for v in values:
+                metrics.observe("x", v)
+            return metrics.summary("x")
+
+        one = summary_of([42.0])
+        assert one["p50"] == one["p95"] == one["p99"] == 42.0
+
+        two = summary_of([1.0, 2.0])
+        assert two["p50"] == 1.0       # was 2.0 before the fix
+        assert two["p95"] == 2.0
+        assert two["p99"] == 2.0
+
+        four = summary_of([1.0, 2.0, 3.0, 4.0])
+        assert four["p50"] == 2.0      # ceil(0.5*4)-1 = 1
+        assert four["p95"] == 4.0      # ceil(3.8)-1 = 3
+        assert four["p99"] == 4.0
+
+        hundred = summary_of([float(v) for v in range(1, 101)])
+        assert hundred["p50"] == 50.0
+        assert hundred["p95"] == 95.0
+        assert hundred["p99"] == 99.0
 
     def test_empty_summary(self):
         assert MetricsRegistry().summary("none") == {"count": 0}
+
+    def test_exemplar_links_worst_sample_to_trace(self):
+        metrics = MetricsRegistry()
+        metrics.observe("lat", 0.5, trace_id="t-00000001")
+        metrics.observe("lat", 2.0, trace_id="t-00000002")
+        metrics.observe("lat", 1.0, trace_id="t-00000003")
+        metrics.observe("lat", 9.0)    # untraced samples never become one
+        assert metrics.exemplar("lat") == {"value": 2.0,
+                                           "trace_id": "t-00000002"}
+        assert metrics.exemplar("missing") is None
 
 
 class TestMonitoringService:

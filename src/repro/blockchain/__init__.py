@@ -14,6 +14,7 @@ from .audit import (
 from .chaincode import (
     Chaincode,
     ConsentContract,
+    CrossShardContract,
     MalwareContract,
     PrivacyContract,
     ProvenanceContract,
@@ -33,6 +34,16 @@ from .network import (
     EndorsementPolicy,
     OrderingService,
     Peer,
+)
+from .sharding import (
+    CrossShardCoordinator,
+    CrossShardTxn,
+    PipelineReport,
+    ShardedBlockchainNetwork,
+    ShardedIngestReport,
+    ShardRouter,
+    pipeline_makespan,
+    sharded_channel,
 )
 
 __all__ = [
@@ -61,6 +72,15 @@ __all__ = [
     "EndorsementPolicy",
     "OrderingService",
     "Peer",
+    "CrossShardContract",
+    "CrossShardCoordinator",
+    "CrossShardTxn",
+    "PipelineReport",
+    "ShardedBlockchainNetwork",
+    "ShardedIngestReport",
+    "ShardRouter",
+    "pipeline_makespan",
+    "sharded_channel",
 ]
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.errors import LedgerError, ValidationError
 from ..crypto.merkle import MerkleTree
@@ -54,9 +54,24 @@ class WorldState:
     def get(self, key: str) -> Optional[Any]:
         return self._state.get(key)
 
+    def lookup(self, key: str) -> Tuple[bool, Optional[Any]]:
+        """(present, value) probe that distinguishes a stored None from a
+        missing key — the same tuple-probe contract as ``Cache.lookup``."""
+        if key in self._state:
+            return True, self._state[key]
+        return False, None
+
     def put(self, key: str, value: Any) -> None:
         self._state[key] = value
         self._versions[key] = self._versions.get(key, 0) + 1
+
+    def delete(self, key: str) -> bool:
+        """Remove a key (version still advances); True if it was present."""
+        if key not in self._state:
+            return False
+        del self._state[key]
+        self._versions[key] = self._versions.get(key, 0) + 1
+        return True
 
     def version(self, key: str) -> int:
         return self._versions.get(key, 0)
@@ -265,3 +280,149 @@ class PrivacyContract(Chaincode):
 
     def invoke_is_risky_sender(self, state: WorldState, *, sender: str) -> bool:
         return (state.get(f"privacy/sender-failures/{sender}") or 0) >= self.RISK_THRESHOLD
+
+
+class _PrepareScratchState:
+    """Copy-on-write overlay over a :class:`WorldState` for prepare-time
+    simulation of staged cross-shard requests — writes land locally and
+    are discarded, so voting yes never mutates the real state."""
+
+    def __init__(self, base: WorldState) -> None:
+        self._base = base
+        self._local: Dict[str, Any] = {}
+        self._deleted: set = set()
+
+    def lookup(self, key: str) -> Tuple[bool, Optional[Any]]:
+        if key in self._deleted:
+            return False, None
+        if key in self._local:
+            return True, self._local[key]
+        return self._base.lookup(key)
+
+    def get(self, key: str) -> Optional[Any]:
+        return self.lookup(key)[1]
+
+    def put(self, key: str, value: Any) -> None:
+        self._deleted.discard(key)
+        self._local[key] = value
+
+    def delete(self, key: str) -> bool:
+        present, _ = self.lookup(key)
+        self._local.pop(key, None)
+        self._deleted.add(key)
+        return present
+
+    def version(self, key: str) -> int:
+        return self._base.version(key) + (1 if key in self._local else 0)
+
+    def keys_with_prefix(self, prefix: str) -> List[str]:
+        keys = set(self._base.keys_with_prefix(prefix))
+        keys |= {k for k in self._local if k.startswith(prefix)}
+        return sorted(k for k in keys if k not in self._deleted)
+
+
+class CrossShardContract(Chaincode):
+    """Two-phase commit records for transactions spanning shard channels.
+
+    A multi-patient transaction touches world state on several
+    independently ordered shard channels; atomicity comes from the
+    classic prepare/commit protocol with *both* phases anchored as
+    ordinary endorsed transactions on every participating shard's ledger:
+
+    * ``prepare`` stages the shard-local requests (delegate chaincode
+      invocations) under the cross-shard transaction id without applying
+      them;
+    * ``commit`` applies the staged requests through the delegate
+      contracts and seals the outcome; ``abort`` discards them.
+
+    Because the phase records are endorsed and committed like any other
+    transaction, an auditor reading any participant's ledger sees the
+    full 2PC history and the final outcome — and a coordinator recovering
+    from a crash window can re-drive the decided phase idempotently
+    (``commit``/``abort`` on an already-decided transaction are no-ops).
+    """
+
+    NAME = "xshard"
+
+    def __init__(self, delegates: Optional[Dict[str, Chaincode]] = None) -> None:
+        self._delegates: Dict[str, Chaincode] = dict(delegates or {})
+
+    def register_delegate(self, contract: Chaincode) -> None:
+        self._delegates[contract.NAME] = contract
+
+    @staticmethod
+    def _key(txn_id: str) -> str:
+        return f"xshard/{txn_id}"
+
+    def invoke_prepare(self, state: WorldState, *, txn_id: str, shard: str,
+                       participants: List[str],
+                       requests: List[Dict[str, Any]]) -> str:
+        """Stage this shard's slice of a cross-shard transaction.
+
+        Requests are *simulated* against a scratch overlay before being
+        staged — a request that cannot apply (unknown method, bad args,
+        delegate validation failure) must vote no here, while the
+        coordinator can still abort everywhere, not wedge at commit.
+        """
+        if not requests:
+            raise ValidationError(
+                f"cross-shard txn {txn_id!r}: nothing to prepare")
+        if state.get(self._key(txn_id)) is not None:
+            raise LedgerError(
+                f"cross-shard txn {txn_id!r} already has a phase record")
+        scratch = _PrepareScratchState(state)
+        for request in requests:
+            delegate = self._delegates.get(request.get("chaincode"))
+            if delegate is None:
+                raise ValidationError(
+                    f"cross-shard txn {txn_id!r}: no delegate chaincode "
+                    f"{request.get('chaincode')!r}")
+            try:
+                delegate.invoke(scratch, request["method"], request["args"])
+            except (LedgerError, ValidationError, TypeError, KeyError) as exc:
+                raise ValidationError(
+                    f"cross-shard txn {txn_id!r}: request "
+                    f"{request.get('chaincode')}.{request.get('method')} "
+                    f"failed prepare simulation: {exc}") from exc
+        state.put(self._key(txn_id), {
+            "phase": "prepared", "shard": shard,
+            "participants": list(participants),
+            "requests": [dict(r) for r in requests]})
+        return "prepared"
+
+    def invoke_commit(self, state: WorldState, *, txn_id: str) -> str:
+        """Apply the staged requests; idempotent on retry."""
+        record = state.get(self._key(txn_id))
+        if record is None:
+            raise LedgerError(
+                f"cross-shard txn {txn_id!r} was never prepared here")
+        if record["phase"] == "committed":
+            return "committed"
+        if record["phase"] == "aborted":
+            raise LedgerError(
+                f"cross-shard txn {txn_id!r} already aborted")
+        for request in record["requests"]:
+            delegate = self._delegates[request["chaincode"]]
+            delegate.invoke(state, request["method"], request["args"])
+        state.put(self._key(txn_id), {**record, "phase": "committed"})
+        return "committed"
+
+    def invoke_abort(self, state: WorldState, *, txn_id: str) -> str:
+        """Discard the staged requests; a tombstone records the outcome
+        even on shards whose prepare never landed."""
+        record = state.get(self._key(txn_id))
+        if record is None:
+            state.put(self._key(txn_id), {
+                "phase": "aborted", "shard": None, "participants": [],
+                "requests": []})
+            return "aborted"
+        if record["phase"] == "committed":
+            raise LedgerError(
+                f"cross-shard txn {txn_id!r} already committed")
+        state.put(self._key(txn_id), {**record, "phase": "aborted"})
+        return "aborted"
+
+    def invoke_status(self, state: WorldState, *, txn_id: str) -> Optional[str]:
+        """This shard's on-ledger phase for a cross-shard transaction."""
+        record = state.get(self._key(txn_id))
+        return None if record is None else record["phase"]

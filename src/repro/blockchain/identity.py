@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.errors import AuthenticationError, NotFoundError
 from ..crypto.rsa import (
@@ -29,6 +29,7 @@ from ..crypto.rsa import (
     generate_keypair,
     rsa_sign,
     rsa_verify,
+    rsa_verify_batch,
 )
 
 
@@ -88,6 +89,20 @@ class MembershipServiceProvider:
         if member is None:
             return False
         return rsa_verify(member.public_key, payload, signature)
+
+    def verify_batch(self, member_id: str,
+                     pairs: List[Tuple[bytes, bytes]]) -> List[bool]:
+        """Verify many ``(payload, signature)`` pairs from one member.
+
+        Uses screening-style aggregate RSA verification (one public-key
+        exponentiation per batch) with a per-signature fallback that
+        pinpoints invalid signatures; block validation batches each
+        endorser's signatures across a whole block through this.
+        """
+        member = self._members.get(member_id)
+        if member is None:
+            return [False] * len(pairs)
+        return rsa_verify_batch(member.public_key, pairs)
 
     def members_with_role(self, role: str) -> List[MemberIdentity]:
         return [m for m in self._members.values() if role in m.roles]

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.errors import LedgerError
-from ..crypto.merkle import MerkleTree
+from ..crypto.merkle import IncrementalMerkleTree, MerkleTree
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,11 @@ class Ledger:
 
     def __init__(self) -> None:
         self._blocks: List[Block] = []
+        # Running Merkle tree over every committed transaction payload,
+        # extended incrementally at append — a chain-wide commitment
+        # (certificate-transparency style) that high-rate ingestion can
+        # grow in O(log n) per transaction instead of rebuilding.
+        self._running = IncrementalMerkleTree()
 
     @property
     def height(self) -> int:
@@ -94,6 +99,18 @@ class Ledger:
     def tip_hash(self) -> str:
         return self._blocks[-1].block_hash if self._blocks else GENESIS_HASH
 
+    @property
+    def running_tx_root(self) -> Optional[str]:
+        """Incremental Merkle root over all committed transaction
+        payloads, in commit order; ``None`` while the chain is empty."""
+        if self._running.leaf_count == 0:
+            return None
+        return self._running.root_hex
+
+    @property
+    def transaction_count(self) -> int:
+        return self._running.leaf_count
+
     def append(self, block: Block) -> None:
         """Append after validating linkage, height, and Merkle root."""
         if block.height != self.height:
@@ -101,7 +118,8 @@ class Ledger:
                 f"block height {block.height} != expected {self.height}")
         if block.prev_hash != self.tip_hash:
             raise LedgerError("block does not link to the current tip")
-        tree = MerkleTree([tx.payload() for tx in block.transactions])
+        payloads = [tx.payload() for tx in block.transactions]
+        tree = MerkleTree(payloads)
         if tree.root.hex() != block.merkle_root:
             raise LedgerError("block Merkle root mismatch")
         expected = Block.compute_hash(block.height, block.prev_hash,
@@ -109,6 +127,7 @@ class Ledger:
         if expected != block.block_hash:
             raise LedgerError("block hash mismatch")
         self._blocks.append(block)
+        self._running.extend(payloads)
 
     def block(self, height: int) -> Block:
         try:

@@ -88,24 +88,65 @@ class Peer:
             orgs.append(self._msp.identity(member_id).organization)
         return policy.satisfied_by(orgs)
 
+    def _verify_block_endorsements(self, block: Block) -> List[bool]:
+        """Per-transaction signature validity via batch RSA screening.
+
+        Endorsement signatures are grouped by endorsing member (one
+        public key per group) and each group is verified with one
+        aggregate screening exponentiation across the whole block; a
+        failing group falls back to per-signature verification inside
+        ``MembershipServiceProvider.verify_batch``, so verdicts match the
+        per-signature path exactly.  Returns, per transaction, whether
+        *every* endorsement on it verified.
+        """
+        groups: Dict[str, List[Tuple[int, bytes, bytes]]] = {}
+        for index, tx in enumerate(block.transactions):
+            payload = tx.payload()
+            for member_id, signature in tx.endorsements:
+                groups.setdefault(member_id, []).append(
+                    (index, payload, signature))
+        valid = [True] * len(block.transactions)
+        for member_id, entries in groups.items():
+            verdicts = self._msp.verify_batch(
+                member_id, [(payload, signature)
+                            for _, payload, signature in entries])
+            for (index, _, _), ok in zip(entries, verdicts):
+                if not ok:
+                    valid[index] = False
+        return valid
+
     def commit_block(self, block: Block, policy: EndorsementPolicy,
                      degraded_tx_ids: frozenset = frozenset(),
-                     degraded_policy: Optional[EndorsementPolicy] = None) -> int:
+                     degraded_policy: Optional[EndorsementPolicy] = None,
+                     batch_verify: bool = True) -> int:
         """Validate + append a block; apply valid txns to world state.
 
         Transactions the channel accepted under a *degraded* quorum (see
         :class:`BlockchainNetwork` resilience) are validated against the
-        reduced policy they were admitted with.  Returns the number of
+        reduced policy they were admitted with.  With ``batch_verify``
+        (the default) endorsement signatures are checked with screening-
+        style aggregate RSA verification per endorser; semantics are
+        identical to per-signature validation.  Returns the number of
         transactions applied (invalid ones are marked-and-skipped, as in
         Fabric's validation flag model).
         """
         applied = 0
-        for tx in block.transactions:
+        signatures_ok = (self._verify_block_endorsements(block)
+                         if batch_verify else None)
+        for index, tx in enumerate(block.transactions):
             effective = (degraded_policy
                          if degraded_policy is not None
                          and tx.tx_id in degraded_tx_ids else policy)
-            if not self.validate(tx, effective):
-                continue
+            if signatures_ok is None:
+                if not self.validate(tx, effective):
+                    continue
+            else:
+                if not signatures_ok[index]:
+                    continue
+                orgs = [self._msp.identity(member_id).organization
+                        for member_id, _ in tx.endorsements]
+                if not effective.satisfied_by(orgs):
+                    continue
             try:
                 chaincode = self._chaincode(tx.chaincode)
                 chaincode.invoke(self.state, tx.method, tx.args)
@@ -122,18 +163,26 @@ class Peer:
         """Local read-only query against this peer's world state."""
         return self._chaincode(chaincode).invoke(self.state, method, args)
 
-    def sync_from(self, other: "Peer", policy: EndorsementPolicy) -> int:
+    def sync_from(self, other: "Peer", policy: EndorsementPolicy,
+                  degraded_tx_ids: frozenset = frozenset(),
+                  degraded_policy: Optional[EndorsementPolicy] = None) -> int:
         """Catch up from another peer's ledger (late join / recovery).
 
         Fetches every block past this peer's tip, re-validating each via
         :meth:`commit_block` — a lagging peer never has to trust its source
         blindly, since the endorsement signatures travel with the blocks.
-        Returns the number of blocks applied.
+        Degraded-quorum metadata must travel with the sync (the channel's
+        ``sync_peer`` supplies it): without it, historical transactions the
+        channel admitted under the reduced policy fail full-policy
+        re-validation here and the peer diverges.  Returns the number of
+        blocks applied.
         """
         applied = 0
         while self.ledger.height < other.ledger.height:
             block = other.ledger.block(self.ledger.height)
-            self.commit_block(block, policy)
+            self.commit_block(block, policy,
+                              degraded_tx_ids=degraded_tx_ids,
+                              degraded_policy=degraded_policy)
             applied += 1
         return applied
 
@@ -146,17 +195,43 @@ class Peer:
 
 
 class _CopyOnWriteState(WorldState):
-    """Scratch state for endorsement simulation; writes don't persist."""
+    """Scratch state for endorsement simulation; writes don't persist.
+
+    The local layer is probed with the tuple-valued ``lookup`` (the same
+    pattern as ``Cache.lookup``), so a simulated write of ``None`` — or a
+    simulated ``delete``, tracked as a tombstone — correctly shadows the
+    base state instead of falling through to the stored value.
+    """
 
     def __init__(self, base: WorldState) -> None:
         super().__init__()
         self._base = base
+        self._deleted: set = set()
 
     def get(self, key: str) -> Any:
-        local = super().get(key)
-        if local is not None:
+        present, local = self.lookup(key)
+        if present:
             return local
+        if key in self._deleted:
+            return None
         return self._base.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self._deleted.discard(key)
+        super().put(key, value)
+
+    def delete(self, key: str) -> bool:
+        present, _ = self.lookup(key)
+        if not present:
+            present = key not in self._deleted and self._base.lookup(key)[0]
+        self._deleted.add(key)
+        super().delete(key)
+        return present
+
+    def keys_with_prefix(self, prefix: str) -> List[str]:
+        keys = set(self._base.keys_with_prefix(prefix))
+        keys.update(super().keys_with_prefix(prefix))
+        return sorted(k for k in keys if k not in self._deleted)
 
 
 class OrderingService:
@@ -219,7 +294,30 @@ class BlockchainNetwork:
         self.resilience = resilience
         self.degraded_policy = degraded_policy
         self._degraded_tx_ids: set = set()
+        # Degraded transactions that already committed: a late-joining peer
+        # syncing historical blocks still needs to know which txs were
+        # admitted under the reduced quorum, or it re-validates them with
+        # the full policy, skips them, and diverges.
+        self._degraded_committed: set = set()
         self.tracer = None   # optional request-path tracing hook
+        # Sharded deployments give each channel a name and tag its spans,
+        # so traces over many channels attribute cost to the right shard.
+        self.channel_name: Optional[str] = None
+        self.span_tags: Dict[str, Any] = {}
+        # Commit-time signature checking mode (see Peer.commit_block).
+        self.batch_verify = True
+        # Pipelined ingestion hook: when set, phase latencies are charged
+        # to this callback instead of advancing the shared clock, letting
+        # an orchestrator overlap phases across shards/rounds and advance
+        # the clock once by the computed makespan.
+        self.latency_sink = None  # Optional[Callable[[str, float], None]]
+
+    def _charge(self, phase: str, seconds: float) -> None:
+        """Pay a phase latency: to the sink if set, else the shared clock."""
+        if self.latency_sink is not None:
+            self.latency_sink(phase, seconds)
+        else:
+            self.clock.advance(seconds)
 
     def add_peer(self, peer: Peer) -> None:
         self.peers.append(peer)
@@ -237,14 +335,14 @@ class BlockchainNetwork:
         tx = self._new_transaction(submitter, chaincode, method, args)
         with maybe_span(self.tracer, "blockchain.endorse", "blockchain",
                         tx=tx.tx_id, chaincode=chaincode,
-                        method=method) as span:
+                        method=method, **self.span_tags) as span:
             endorsements: List[Tuple[str, bytes]] = []
             orgs: List[str] = []
             for peer in self.endorsing_peers():
                 try:
                     endorsements.append(self._endorse(peer, tx))
                     orgs.append(peer.organization)
-                    self.clock.advance(self.ENDORSE_LATENCY)
+                    self._charge("endorse", self.ENDORSE_LATENCY)
                 except Exception as exc:
                     # A failing endorser just doesn't sign — but degraded
                     # endorsement must be visible to operators and benches.
@@ -279,9 +377,10 @@ class BlockchainNetwork:
         endorsements: List[List[Tuple[str, bytes]]] = [[] for _ in txs]
         orgs: List[List[str]] = [[] for _ in txs]
         with maybe_span(self.tracer, "blockchain.endorse_batch",
-                        "blockchain", transactions=len(txs)) as span:
+                        "blockchain", transactions=len(txs),
+                        **self.span_tags) as span:
             for peer in self.endorsing_peers():
-                self.clock.advance(self.ENDORSE_LATENCY)  # one trip per peer
+                self._charge("endorse", self.ENDORSE_LATENCY)  # 1 trip/peer
                 for i, tx in enumerate(txs):
                     try:
                         endorsements[i].append(self._endorse(peer, tx))
@@ -367,8 +466,8 @@ class BlockchainNetwork:
     def flush(self) -> List[Block]:
         """Cut and commit every pending block (force the final partial one)."""
         committed: List[Block] = []
-        with maybe_span(self.tracer, "blockchain.commit", "blockchain") \
-                as span:
+        with maybe_span(self.tracer, "blockchain.commit", "blockchain",
+                        **self.span_tags) as span:
             while True:
                 reference = self.peers[0].ledger if self.peers else None
                 height = reference.height if reference else 0
@@ -376,21 +475,46 @@ class BlockchainNetwork:
                 block = self.orderer.cut_block(height, prev, force=True)
                 if block is None:
                     break
-                self.clock.advance(self.ORDER_LATENCY)
+                self._charge("order", self.ORDER_LATENCY)
                 degraded = frozenset(self._degraded_tx_ids)
                 for peer in self.peers:
                     peer.commit_block(block, self.policy,
                                       degraded_tx_ids=degraded,
-                                      degraded_policy=self.degraded_policy)
-                    self.clock.advance(self.COMMIT_LATENCY)
-                self._degraded_tx_ids -= {tx.tx_id
-                                          for tx in block.transactions}
+                                      degraded_policy=self.degraded_policy,
+                                      batch_verify=self.batch_verify)
+                    self._charge("commit", self.COMMIT_LATENCY)
+                in_block = {tx.tx_id for tx in block.transactions}
+                self._degraded_committed |= self._degraded_tx_ids & in_block
+                self._degraded_tx_ids -= in_block
                 committed.append(block)
             span.set_attribute("blocks", len(committed))
             span.set_attribute(
                 "transactions",
                 sum(len(b.transactions) for b in committed))
         return committed
+
+    @property
+    def degraded_tx_ids(self) -> frozenset:
+        """Every tx admitted under the degraded quorum, pending or committed.
+
+        Block sync hands this to the lagging peer so historical degraded
+        transactions re-validate against the policy they were admitted
+        with (see :meth:`Peer.sync_from`).
+        """
+        return frozenset(self._degraded_tx_ids | self._degraded_committed)
+
+    def sync_peer(self, peer: Peer) -> int:
+        """Catch a lagging/late-joining peer up from the reference peer.
+
+        Threads the channel's degraded-transaction metadata through the
+        sync so the peer converges even when history contains
+        degraded-quorum commits.  Returns the number of blocks applied.
+        """
+        if not self.peers:
+            raise LedgerError("network has no peers")
+        return peer.sync_from(self.peers[0], self.policy,
+                              degraded_tx_ids=self.degraded_tx_ids,
+                              degraded_policy=self.degraded_policy)
 
     def invoke(self, submitter: str, chaincode: str, method: str,
                **args: Any) -> Transaction:

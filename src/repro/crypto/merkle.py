@@ -88,6 +88,74 @@ class MerkleTree:
         return MerkleProof(index, tuple(path))
 
 
+class IncrementalMerkleTree:
+    """Append-only Merkle tree whose root matches :class:`MerkleTree`.
+
+    Keeps one *peak* per power of two of the leaf count (a Merkle
+    mountain range): ``append`` merges carry peaks like binary addition,
+    O(log n) amortized, and ``root`` folds the peaks lowest-to-highest,
+    self-pairing odd nodes at every level exactly as :class:`MerkleTree`
+    does — so for any leaf sequence the incremental root equals
+    ``MerkleTree(leaves).root``.  High-rate writers (consecutive
+    ingestion flushes, the ledger's running transaction root) extend a
+    running tree instead of rebuilding the whole tree per flush.
+    """
+
+    __slots__ = ("_peaks", "_count")
+
+    def __init__(self, leaves: Sequence[bytes] = ()) -> None:
+        # (height, node_hash) pairs, strictly descending height.
+        self._peaks: List[Tuple[int, bytes]] = []
+        self._count = 0
+        for leaf in leaves:
+            self.append(leaf)
+
+    @property
+    def leaf_count(self) -> int:
+        return self._count
+
+    def append(self, leaf: bytes) -> int:
+        """Absorb one leaf; returns its index."""
+        node = _leaf_hash(bytes(leaf))
+        height = 0
+        while self._peaks and self._peaks[-1][0] == height:
+            _, sibling = self._peaks.pop()
+            node = _node_hash(sibling, node)
+            height += 1
+        self._peaks.append((height, node))
+        self._count += 1
+        return self._count - 1
+
+    def extend(self, leaves: Sequence[bytes]) -> int:
+        """Absorb many leaves; returns the new leaf count."""
+        for leaf in leaves:
+            self.append(leaf)
+        return self._count
+
+    @property
+    def root(self) -> bytes:
+        """Fold the peaks into the :class:`MerkleTree`-equivalent root.
+
+        The lowest peak is raised by self-pairing until it reaches the
+        next peak's height (the duplicate-the-odd-node rule applied once
+        per level), then combined; repeated up to the highest peak.
+        """
+        if not self._peaks:
+            raise ValueError("Merkle tree needs at least one leaf")
+        height, node = self._peaks[-1]
+        for peak_height, peak in reversed(self._peaks[:-1]):
+            while height < peak_height:
+                node = _node_hash(node, node)
+                height += 1
+            node = _node_hash(peak, node)
+            height = peak_height + 1
+        return node
+
+    @property
+    def root_hex(self) -> str:
+        return self.root.hex()
+
+
 def verify_proof(root: bytes, leaf_data: bytes, proof: MerkleProof) -> bool:
     """Check a membership proof against a trusted root."""
     current = _leaf_hash(leaf_data)

@@ -17,7 +17,7 @@ import hashlib
 import secrets
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.errors import IntegrityError
 from .symmetric import Ciphertext, SharedKeyCipher, generate_key
@@ -223,12 +223,17 @@ def rsa_decrypt(private: RsaPrivateKey, ciphertext: bytes,
     return _unpad(m.to_bytes(k, "big"))
 
 
+def _encoded_digest(k: int, message: bytes) -> bytes:
+    """The deterministic PKCS#1-v1.5 signature encoding of a message."""
+    digest = hashlib.sha256(message).digest()
+    return b"\x00\x01" + b"\xff" * (k - 3 - len(digest)) + b"\x00" + digest
+
+
 def rsa_sign(private: RsaPrivateKey, message: bytes,
              use_crt: bool = True) -> bytes:
     """Hash-then-sign signature."""
     k = (private.n.bit_length() + 7) // 8
-    digest = hashlib.sha256(message).digest()
-    padded = b"\x00\x01" + b"\xff" * (k - 3 - len(digest)) + b"\x00" + digest
+    padded = _encoded_digest(k, message)
     s = private.private_op(int.from_bytes(padded, "big"), use_crt=use_crt)
     return s.to_bytes(k, "big")
 
@@ -239,10 +244,53 @@ def rsa_verify(public: RsaPublicKey, message: bytes, signature: bytes) -> bool:
     if len(signature) != k:
         return False
     m = pow(int.from_bytes(signature, "big"), public.e, public.n)
-    padded = m.to_bytes(k, "big")
-    digest = hashlib.sha256(message).digest()
-    expected = b"\x00\x01" + b"\xff" * (k - 3 - len(digest)) + b"\x00" + digest
-    return padded == expected
+    return m.to_bytes(k, "big") == _encoded_digest(k, message)
+
+
+def rsa_verify_batch(public: RsaPublicKey,
+                     pairs: Sequence[Tuple[bytes, bytes]]) -> List[bool]:
+    """Screening-style aggregate verification of same-key signatures.
+
+    Checks ``(prod s_i)^e == prod EM_i (mod n)`` — one public-key
+    exponentiation plus 2(k-1) modular multiplications instead of k
+    exponentiations (Bellare–Garay–Rabin screening).  When every
+    signature in the batch is individually valid the aggregate relation
+    always holds; when it fails, the batch falls back to per-signature
+    :func:`rsa_verify` so the culprit signatures are identified exactly.
+
+    Screening soundness requires *distinct* messages within a batch (a
+    forger who controls two slots of the same message can cancel bogus
+    factors); batches with duplicate messages — and signatures of the
+    wrong length, which a product would silently absorb — are routed to
+    the per-signature path.  Block validation groups endorsements by
+    endorsing member, and transaction payloads within a block are unique,
+    so the fast path is the common one.
+
+    Returns one verdict per ``(message, signature)`` pair, in order.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    if len(pairs) == 1:
+        message, signature = pairs[0]
+        return [rsa_verify(public, message, signature)]
+    k = public.byte_length
+    messages = [message for message, _ in pairs]
+    if (len(set(messages)) != len(messages)
+            or any(len(signature) != k for _, signature in pairs)):
+        return [rsa_verify(public, message, signature)
+                for message, signature in pairs]
+    sig_product = 1
+    encoded_product = 1
+    for message, signature in pairs:
+        sig_product = (sig_product
+                       * int.from_bytes(signature, "big")) % public.n
+        encoded_product = (encoded_product * int.from_bytes(
+            _encoded_digest(k, message), "big")) % public.n
+    if pow(sig_product, public.e, public.n) == encoded_product:
+        return [True] * len(pairs)
+    return [rsa_verify(public, message, signature)
+            for message, signature in pairs]
 
 
 @dataclass(frozen=True)

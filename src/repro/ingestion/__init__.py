@@ -14,6 +14,7 @@ from .pipeline import (
     IngestionService,
     IngestionStatus,
     STAGE_COSTS,
+    ShardedIngestionFrontend,
     encrypt_bundle_for_upload,
 )
 from .replication import ReplicatedDataLake
@@ -41,6 +42,7 @@ __all__ = [
     "IngestionService",
     "IngestionStatus",
     "STAGE_COSTS",
+    "ShardedIngestionFrontend",
     "encrypt_bundle_for_upload",
     "ReplicatedDataLake",
     "ANALYTICS_TIER",

@@ -27,6 +27,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..blockchain.chaincode import provenance_event_leaf
 from ..blockchain.network import BlockchainNetwork
+from ..blockchain.sharding import ShardedBlockchainNetwork, ShardedIngestReport
 from ..cloudsim.clock import SimClock
 from ..cloudsim.monitoring import MonitoringService
 from ..cloudsim.tracing import maybe_span
@@ -35,7 +36,7 @@ from ..core.errors import (
     IngestionError,
     NotFoundError,
 )
-from ..crypto.merkle import MerkleTree
+from ..crypto.merkle import IncrementalMerkleTree
 from ..crypto.rsa import (
     HybridCiphertext,
     RsaPrivateKey,
@@ -145,6 +146,10 @@ class IngestionService:
         self.provenance_batch_size = provenance_batch_size
         self.tracer = None   # optional request-path tracing hook
         self._event_buffer: List[Dict[str, Any]] = []
+        # Leaves of the buffered events, hashed as they arrive: flushing a
+        # batch reads the running root in O(log n) instead of rebuilding
+        # the whole tree (the roots are identical by construction).
+        self._event_tree = IncrementalMerkleTree()
         self._report_buffer: List[Tuple[str, str, Dict[str, Any]]] = []
         self._batch_counter = 0
 
@@ -183,6 +188,8 @@ class IngestionService:
         self._jobs[job.job_id] = job
         self._queue.append(job.job_id)
         self.monitoring.metrics.incr("ingestion.uploads")
+        self.monitoring.metrics.set_gauge("ingestion.queue_depth",
+                                          len(self._queue))
         return job
 
     def status(self, job_id: str) -> Tuple[IngestionStatus, str]:
@@ -211,6 +218,8 @@ class IngestionService:
                         "ingestion", batch_size=batch_size) as span:
             while self._queue and (limit is None or processed < limit):
                 job_id = self._queue.popleft()
+                self.monitoring.metrics.set_gauge("ingestion.queue_depth",
+                                                  len(self._queue))
                 job = self._jobs[job_id]
                 with maybe_span(self.tracer, "ingestion.job", "ingestion",
                                 job=job_id) as job_span:
@@ -243,10 +252,11 @@ class IngestionService:
             self._event_buffer.clear()
             self._batch_counter += 1
             batch_id = f"provbatch-{self._batch_counter:06d}"
-            tree = MerkleTree([provenance_event_leaf(e) for e in events])
+            merkle_root = self._event_tree.root_hex
+            self._event_tree = IncrementalMerkleTree()
             requests.append(("provenance", "record_batch",
                              {"batch_id": batch_id,
-                              "merkle_root": tree.root_hex,
+                              "merkle_root": merkle_root,
                               "events": events}))
             self.monitoring.metrics.incr("ingestion.provenance_batches")
             self.monitoring.metrics.incr("ingestion.provenance_events",
@@ -374,6 +384,7 @@ class IngestionService:
                   "metadata": {"group": job.group_id}}
         if self.provenance_batch_size > 1:
             self._event_buffer.append(record)
+            self._event_tree.append(provenance_event_leaf(record))
         else:
             self.blockchain.submit("ingestion-service", "provenance",
                                    "record_event", **record)
@@ -412,3 +423,93 @@ def encrypt_bundle_for_upload(bundle: Bundle,
                               registration: ClientRegistration) -> HybridCiphertext:
     """Client-side helper: serialize + hybrid-encrypt a bundle for upload."""
     return hybrid_encrypt(registration.public_key, bundle.to_json().encode())
+
+
+class ShardedIngestionFrontend:
+    """Routes provenance events to shard-local Merkle batches.
+
+    The write-path front door for a :class:`ShardedBlockchainNetwork`:
+    every event carries a tenant/patient ``routing_key``; events for the
+    same shard accumulate in a shard-local buffer whose Merkle root grows
+    incrementally with each event.  When a buffer reaches
+    ``events_per_batch`` it is sealed into one ``record_batch`` request;
+    :meth:`flush` seals the remainder and hands every sealed batch to the
+    network's fork-join pipelined :meth:`ShardedBlockchainNetwork.ingest`
+    in one call.  The ``ingestion.queue_depth`` gauge tracks events
+    buffered or sealed but not yet committed.
+    """
+
+    def __init__(self, network: ShardedBlockchainNetwork,
+                 events_per_batch: int = 16,
+                 submitter: str = "ingestion-service") -> None:
+        if events_per_batch < 1:
+            raise ValueError("events per batch must be >= 1")
+        self.network = network
+        self.events_per_batch = events_per_batch
+        self.submitter = submitter
+        self.monitoring = network.monitoring
+        self._buffers: Dict[int, Dict[str, Any]] = {}
+        self._sealed: List[Tuple[str, Tuple[str, str, Dict[str, Any]]]] = []
+        self._sealed_events = 0
+        self._batch_counter = 0
+
+    @property
+    def pending_events(self) -> int:
+        """Events accepted but not yet committed to any shard ledger."""
+        buffered = sum(len(buf["events"]) for buf in self._buffers.values())
+        return buffered + self._sealed_events
+
+    def record_event(self, routing_key: str, *, handle: str, data_hash: str,
+                     event: str, actor: str,
+                     metadata: Optional[Dict[str, Any]] = None) -> int:
+        """Buffer one provenance event on its owning shard's batch.
+
+        Returns the event's leaf index within the (eventual) batch — the
+        position its Merkle inclusion proof is anchored at.
+        """
+        shard = self.network.router.shard_for(routing_key)
+        buf = self._buffers.get(shard)
+        if buf is None:
+            buf = {"key": routing_key, "events": [],
+                   "tree": IncrementalMerkleTree()}
+            self._buffers[shard] = buf
+        record = {"handle": handle, "data_hash": data_hash, "event": event,
+                  "actor": actor, "metadata": dict(metadata or {})}
+        leaf_index = buf["tree"].append(provenance_event_leaf(record))
+        buf["events"].append(record)
+        if len(buf["events"]) >= self.events_per_batch:
+            self._seal(shard)
+        self.monitoring.metrics.set_gauge("ingestion.queue_depth",
+                                          self.pending_events)
+        return leaf_index
+
+    def _seal(self, shard: int) -> None:
+        buf = self._buffers.pop(shard)
+        self._batch_counter += 1
+        batch_id = (f"shardbatch-{self.network.shard_name(shard)}"
+                    f"-{self._batch_counter:06d}")
+        self._sealed.append((buf["key"], (
+            "provenance", "record_batch",
+            {"batch_id": batch_id, "merkle_root": buf["tree"].root_hex,
+             "events": buf["events"]})))
+        self._sealed_events += len(buf["events"])
+
+    def flush(self, round_size: Optional[int] = None,
+              pipelined: bool = True) -> Optional[ShardedIngestReport]:
+        """Seal every partial buffer and commit all sealed batches.
+
+        One fork-join pipelined ingest across shards; ``round_size``
+        limits how many batch transactions each shard commits per
+        pipeline round.  Returns the ingest report, or ``None`` when
+        there was nothing to commit.
+        """
+        for shard in sorted(self._buffers):
+            self._seal(shard)
+        sealed, self._sealed = self._sealed, []
+        self._sealed_events = 0
+        self.monitoring.metrics.set_gauge("ingestion.queue_depth", 0)
+        if not sealed:
+            return None
+        return self.network.ingest(self.submitter, sealed,
+                                   round_size=round_size,
+                                   pipelined=pipelined)

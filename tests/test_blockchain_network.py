@@ -239,3 +239,126 @@ class TestOrderingService:
         net = BlockchainNetwork(msp)
         with pytest.raises(LedgerError):
             net.query("provenance", "get_history", handle="x")
+
+
+class TestCopyOnWriteState:
+    """Regression tests: the scratch state must shadow the base through a
+    tuple probe, not an ``is not None`` check."""
+
+    def _states(self):
+        from repro.blockchain.chaincode import WorldState
+        from repro.blockchain.network import _CopyOnWriteState
+        base = WorldState()
+        base.put("k", "committed-value")
+        base.put("other", 7)
+        return base, _CopyOnWriteState(base)
+
+    def test_simulated_none_write_shadows_base(self):
+        base, scratch = self._states()
+        scratch.put("k", None)
+        assert scratch.get("k") is None
+        assert base.get("k") == "committed-value"
+
+    def test_simulated_delete_shadows_base(self):
+        base, scratch = self._states()
+        assert scratch.delete("k") is True
+        assert scratch.get("k") is None
+        assert scratch.lookup("k") == (False, None)
+        assert base.get("k") == "committed-value"
+
+    def test_delete_of_missing_key_reports_absent(self):
+        _, scratch = self._states()
+        assert scratch.delete("never-existed") is False
+
+    def test_delete_of_local_write_reports_present(self):
+        _, scratch = self._states()
+        scratch.put("fresh", None)  # even a stored None counts as present
+        assert scratch.delete("fresh") is True
+
+    def test_put_after_delete_restores_visibility(self):
+        _, scratch = self._states()
+        scratch.delete("k")
+        scratch.put("k", "resurrected")
+        assert scratch.get("k") == "resurrected"
+
+    def test_keys_with_prefix_excludes_deleted(self):
+        base, scratch = self._states()
+        scratch.put("k2", 1)
+        scratch.delete("k")
+        assert scratch.keys_with_prefix("k") == ["k2"]
+        assert base.keys_with_prefix("k") == ["k"]
+
+
+class TestBatchVerifiedCommit:
+    def test_batch_and_per_signature_commit_agree_on_tampered_block(self):
+        """A forged signature in a block invalidates exactly that tx under
+        both validation modes (screening falls back per-signature)."""
+        import dataclasses
+
+        def run(batch_verify):
+            net = standard_network(seed=31, batch_size=4)
+            net.batch_verify = batch_verify
+            for i in range(4):
+                net.submit("ingestion-service", "provenance",
+                           "record_event", handle=f"bv{i}",
+                           data_hash="aa" * 32, event="received", actor="c")
+            # Tamper with one endorsement of one pending transaction.
+            victim = net.orderer._pending[2]
+            member_id, sig = victim.endorsements[0]
+            bad = bytes([sig[0] ^ 0xFF]) + sig[1:]
+            net.orderer._pending[2] = dataclasses.replace(
+                victim, endorsements=((member_id, bad),)
+                + victim.endorsements[1:])
+            net.flush()
+            return [net.query("provenance", "get_history",
+                              handle=f"bv{i}") for i in range(4)]
+
+        batched = run(True)
+        unbatched = run(False)
+        assert batched == unbatched
+        assert batched[2] == []          # tampered tx dropped
+        assert all(batched[i] for i in (0, 1, 3))
+
+
+class TestDegradedSync:
+    def _degraded_world(self):
+        """A 4/4-policy network that commits one tx under a 2/2 degraded
+        quorum while one peer is crashed and another is out of the
+        network entirely (it will late-join)."""
+        from repro.cloudsim.faults import FaultPlan
+        net = standard_network(seed=41, batch_size=1,
+                               policy=EndorsementPolicy(4, 4))
+        net.degraded_policy = EndorsementPolicy(2, 2)
+        lagging = net.peers.pop()  # misses all blocks until it syncs
+        plan = FaultPlan(seed=1, clock=net.clock)
+        plan.crash_node(net.peers[2].peer_id, start_s=0.0, end_s=1_000.0)
+        for peer in net.peers:
+            peer.fault_plan = plan
+        net.submit("ingestion-service", "provenance", "record_event",
+                   handle="deg-sync", data_hash="ab" * 32,
+                   event="received", actor="c")
+        net.flush()
+        assert net.monitoring.metrics.counter("blockchain.degraded_commits") == 1
+        return net, lagging
+
+    def test_degraded_metadata_survives_flush(self):
+        net, _ = self._degraded_world()
+        assert net.degraded_tx_ids  # committed, but still visible for sync
+
+    def test_sync_without_metadata_diverges(self):
+        """The failure mode sync_peer exists to prevent: full-policy
+        re-validation skips the degraded tx and world state forks."""
+        net, lagging = self._degraded_world()
+        lagging.sync_from(net.peers[0], net.policy)
+        net.add_peer(lagging)
+        assert lagging.ledger.tip_hash == net.peers[0].ledger.tip_hash
+        assert not net.peers_converged()
+
+    def test_sync_peer_threads_degraded_metadata(self):
+        net, lagging = self._degraded_world()
+        applied = net.sync_peer(lagging)
+        net.add_peer(lagging)
+        assert applied == net.peers[0].ledger.height
+        assert net.peers_converged()
+        assert lagging.query("provenance", "get_history",
+                             handle="deg-sync")

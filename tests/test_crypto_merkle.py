@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.errors import IntegrityError
-from repro.crypto.merkle import MerkleTree, require_proof, verify_proof
+from repro.crypto.merkle import (
+    IncrementalMerkleTree,
+    MerkleTree,
+    require_proof,
+    verify_proof,
+)
 
 
 class TestMerkleTree:
@@ -61,3 +66,36 @@ class TestMerkleTree:
 
     def test_leaf_count(self):
         assert MerkleTree([b"a", b"b", b"c"]).leaf_count == 3
+
+
+class TestIncrementalMerkleTree:
+    def test_matches_batch_tree_for_all_small_sizes(self):
+        leaves = [f"leaf-{i}".encode() for i in range(100)]
+        incremental = IncrementalMerkleTree()
+        for n, leaf in enumerate(leaves, start=1):
+            incremental.append(leaf)
+            assert incremental.root == MerkleTree(leaves[:n]).root, n
+            assert incremental.leaf_count == n
+
+    def test_extend_matches_append(self):
+        leaves = [f"leaf-{i}".encode() for i in range(17)]
+        by_extend = IncrementalMerkleTree(leaves[:5])
+        by_extend.extend(leaves[5:])
+        by_append = IncrementalMerkleTree()
+        for leaf in leaves:
+            by_append.append(leaf)
+        assert by_extend.root == by_append.root == MerkleTree(leaves).root
+
+    def test_append_returns_leaf_index(self):
+        tree = IncrementalMerkleTree()
+        assert tree.append(b"a") == 0
+        assert tree.append(b"b") == 1
+
+    def test_empty_tree_has_no_root(self):
+        with pytest.raises(ValueError):
+            IncrementalMerkleTree().root
+
+    def test_root_hex_matches_batch(self):
+        leaves = [b"x", b"y", b"z"]
+        assert (IncrementalMerkleTree(leaves).root_hex
+                == MerkleTree(leaves).root.hex())

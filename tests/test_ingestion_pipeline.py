@@ -230,3 +230,100 @@ class TestExport:
             p.export.export_anonymized(user.user_id, group.group_id,
                                        context.default_org.org_id,
                                        context.default_env.env_id)
+
+
+class TestQueueDepthGauge:
+    def test_gauge_tracks_uploads_and_drains(self, platform):
+        p, _, group, registration = platform
+        metrics = p.ingestion.monitoring.metrics
+        for i in range(3):
+            p.consent.grant(f"pt-{i}", group.group_id)
+            p.ingestion.upload(
+                "client-1",
+                encrypt_bundle_for_upload(
+                    make_bundle(patient_id=f"pt-{i}", bundle_id=f"b{i}"),
+                    registration),
+                group.group_id)
+        assert metrics.gauge("ingestion.queue_depth") == 3
+        p.ingestion.process_pending(limit=1)
+        assert metrics.gauge("ingestion.queue_depth") == 2
+        p.run_ingestion()
+        assert metrics.gauge("ingestion.queue_depth") == 0
+
+    def test_provenance_batch_root_matches_batch_tree(self, platform):
+        """The incrementally built flush root must equal the root the
+        record_batch contract recomputes — otherwise endorsement fails."""
+        p, _, group, registration = platform
+        p.consent.grant("pt-1", group.group_id)
+        p.ingestion.upload(
+            "client-1", encrypt_bundle_for_upload(make_bundle(), registration),
+            group.group_id)
+        p.run_ingestion()  # would raise at endorsement on a root mismatch
+        history = p.blockchain.query("provenance", "get_history",
+                                     handle="job-0000001")
+        assert history
+        assert all("batch" in event["meta"] for event in history)
+
+
+class TestShardedIngestionFrontend:
+    def _frontend(self, n_shards=4, events_per_batch=4):
+        from repro.blockchain import ShardedBlockchainNetwork
+        from repro.ingestion import ShardedIngestionFrontend
+        network = ShardedBlockchainNetwork(n_shards, seed=5, batch_size=8)
+        return network, ShardedIngestionFrontend(
+            network, events_per_batch=events_per_batch)
+
+    def _fill(self, frontend, n, n_keys=10):
+        for i in range(n):
+            frontend.record_event(
+                f"patient-{i % n_keys:03d}", handle=f"h-{i}",
+                data_hash=f"{i:04x}", event="received", actor="ingest")
+
+    def test_events_land_on_owning_shard(self):
+        network, frontend = self._frontend()
+        self._fill(frontend, 24)
+        report = frontend.flush()
+        assert report.transactions >= 1
+        history = network.query("patient-000", "provenance",
+                                "get_history", handle="h-0")
+        assert history and history[0]["meta"]["batch"].startswith("shardbatch-")
+        assert network.peers_converged()
+
+    def test_queue_depth_gauge_follows_buffered_events(self):
+        network, frontend = self._frontend(events_per_batch=100)
+        metrics = network.monitoring.metrics
+        self._fill(frontend, 7)
+        assert frontend.pending_events == 7
+        assert metrics.gauge("ingestion.queue_depth") == 7
+        frontend.flush()
+        assert frontend.pending_events == 0
+        assert metrics.gauge("ingestion.queue_depth") == 0
+
+    def test_full_buffers_seal_automatically(self):
+        network, frontend = self._frontend(events_per_batch=2)
+        # Same key -> same shard; the third event seals one batch of 2.
+        for i in range(3):
+            frontend.record_event("patient-xyz", handle=f"h-{i}",
+                                  data_hash="aa", event="received",
+                                  actor="ingest")
+        assert frontend._sealed  # one sealed batch awaiting flush
+        report = frontend.flush()
+        assert report.transactions == 2  # sealed batch + remainder batch
+
+    def test_flush_with_nothing_pending_returns_none(self):
+        _, frontend = self._frontend()
+        assert frontend.flush() is None
+
+    def test_leaf_index_returned_for_inclusion_proofs(self):
+        _, frontend = self._frontend(events_per_batch=4)
+        indices = [frontend.record_event("patient-abc", handle=f"h-{i}",
+                                         data_hash="aa", event="received",
+                                         actor="ingest") for i in range(4)]
+        assert indices == [0, 1, 2, 3]
+
+    def test_invalid_batch_size_rejected(self):
+        from repro.blockchain import ShardedBlockchainNetwork
+        from repro.ingestion import ShardedIngestionFrontend
+        network = ShardedBlockchainNetwork(2, seed=5)
+        with pytest.raises(ValueError):
+            ShardedIngestionFrontend(network, events_per_batch=0)

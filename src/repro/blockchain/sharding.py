@@ -255,8 +255,23 @@ class ShardedBlockchainNetwork:
     def submit(self, submitter: str, routing_key: str, chaincode: str,
                method: str, **args: Any):
         """Route one transaction to its owning shard (endorse + order)."""
-        return self.channel_for(routing_key).submit(
+        shard = self.router.shard_for(routing_key)
+        result = self.channels[shard].submit(
             submitter, chaincode, method, **args)
+        self._update_pending_gauge(shard)
+        return result
+
+    def _update_pending_gauge(self, shard: int) -> None:
+        """Keep ``blockchain.<shard>.pending`` equal to the orderer queue.
+
+        Every path that changes a shard's pending count goes through
+        here, so the gauge cannot go stale: after any drain it reads 0,
+        and after an ingest aborted mid-round it reads the real residue
+        instead of the last mid-round snapshot.
+        """
+        self.monitoring.metrics.set_gauge(
+            f"blockchain.{self.shard_name(shard)}.pending",
+            self.channels[shard].orderer.pending_count)
 
     def query(self, routing_key: str, chaincode: str, method: str,
               **args: Any) -> Any:
@@ -311,17 +326,16 @@ class ShardedBlockchainNetwork:
                         costs["commit"] = 0.0
                         channel.submit_batch(
                             submitter, requests[offset:offset + size])
-                        self.monitoring.metrics.set_gauge(
-                            f"blockchain.{name}.pending",
-                            channel.orderer.pending_count)
+                        self._update_pending_gauge(shard)
                         channel.flush()
                         rounds.append((costs["endorse"],
                                        costs["order"] + costs["commit"]))
                 finally:
                     channel.latency_sink = None
-                self.monitoring.metrics.set_gauge(
-                    f"blockchain.{name}.pending",
-                    channel.orderer.pending_count)
+                    # In the finally: an ingest aborted mid-round (e.g.
+                    # endorsement failure under a fault plan) must not
+                    # leave the last mid-round snapshot on the gauge.
+                    self._update_pending_gauge(shard)
                 serial = sum(e + c for e, c in rounds)
                 makespan = (pipeline_makespan(rounds) if pipelined
                             else serial)
@@ -332,6 +346,11 @@ class ShardedBlockchainNetwork:
                     serial_s=serial,
                     makespan_s=makespan)
                 makespans.append(makespan)
+                plane = self.monitoring.healthplane
+                if plane is not None:
+                    plane.observe_shard_commit(
+                        shard=name, transactions=len(requests),
+                        rounds=len(rounds), makespan_s=makespan)
             total = max(makespans) if makespans else 0.0
             self.clock.advance_to(start + total)
             span.set_attribute("makespan_s", total)
@@ -345,8 +364,18 @@ class ShardedBlockchainNetwork:
             shard_reports=shard_reports)
 
     def flush_all(self) -> int:
-        """Serially flush every channel; returns blocks committed."""
-        return sum(len(channel.flush()) for channel in self.channels)
+        """Serially flush every channel; returns blocks committed.
+
+        Refreshes every shard's pending gauge: a drain through this
+        path (e.g. after single-transaction :meth:`submit` traffic)
+        must leave ``blockchain.<shard>.pending`` at 0, not at whatever
+        the last bulk ingest happened to record.
+        """
+        committed = 0
+        for shard, channel in enumerate(self.channels):
+            committed += len(channel.flush())
+            self._update_pending_gauge(shard)
+        return committed
 
     def peers_converged(self) -> bool:
         """Every shard's peers hold identical state and chain tips."""

@@ -210,6 +210,8 @@ class CacheHierarchy(Generic[K, V]):
                                    + self.origin.per_item_cost_s)
                 self.origin_loads += 1
                 self._metric("cache.origin_loads")
+                self._publish("origin_fetch", origin=self.origin.name,
+                              keys=1)
                 try:
                     value = self.origin.load(key)
                 except NotFoundError:
@@ -308,6 +310,8 @@ class CacheHierarchy(Generic[K, V]):
                     + self.origin.per_item_cost_s * len(remaining))
                 self.origin_loads += len(remaining)
                 self._metric("cache.origin_loads", len(remaining))
+                self._publish("origin_fetch", origin=self.origin.name,
+                              keys=len(remaining))
                 loaded = self.origin.load_many(remaining)
             completes = self.clock.now
             for key in remaining:
@@ -398,6 +402,14 @@ class CacheHierarchy(Generic[K, V]):
     def _metric(self, name: str, value: float = 1.0) -> None:
         if self.monitoring is not None:
             self.monitoring.metrics.incr(name, value)
+
+    def _publish(self, kind: str, **attributes: Any) -> None:
+        """Emit a cache lifecycle event when a health plane is attached."""
+        if self.monitoring is None:
+            return
+        plane = self.monitoring.healthplane
+        if plane is not None:
+            plane.events.publish("cache", f"cache.{kind}", **attributes)
 
     # -- reporting -----------------------------------------------------------
 

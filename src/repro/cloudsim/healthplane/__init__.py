@@ -1,0 +1,53 @@
+"""Platform health control plane (Section II-A, grown up).
+
+Four substrates over the simulated clock — windowed time-series
+metrics, a seeded ordered platform event stream, SLO burn-rate
+alerting, and heavy-hitter usage accounting — wired together by
+:class:`HealthPlane` and attached to a
+:class:`~repro.cloudsim.monitoring.MonitoringService`.
+"""
+
+from .accounting import HeavyHitter, SpaceSavingSketch, UsageAccountant
+from .events import EventBus, PlatformEvent, Subscription
+from .plane import API_BAD_SERIES, API_GOOD_SERIES, HealthPlane, HealthReport
+from .slo import (
+    Alert,
+    BurnRateRule,
+    DEFAULT_RULES,
+    FAST_PAGE,
+    SLOW_TICKET,
+    Severity,
+    SloEvaluator,
+    SloObjective,
+)
+from .timeseries import (
+    TimeSeries,
+    TimeSeriesStore,
+    WindowAggregate,
+    series_key,
+)
+
+__all__ = [
+    "API_BAD_SERIES",
+    "API_GOOD_SERIES",
+    "Alert",
+    "BurnRateRule",
+    "DEFAULT_RULES",
+    "EventBus",
+    "FAST_PAGE",
+    "HealthPlane",
+    "HealthReport",
+    "HeavyHitter",
+    "PlatformEvent",
+    "SLOW_TICKET",
+    "Severity",
+    "SloEvaluator",
+    "SloObjective",
+    "SpaceSavingSketch",
+    "Subscription",
+    "TimeSeries",
+    "TimeSeriesStore",
+    "UsageAccountant",
+    "WindowAggregate",
+    "series_key",
+]

@@ -51,6 +51,12 @@ def scrub_value(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         scrubbed = [scrub_value(v) for v in value]
         return scrubbed if isinstance(value, list) else tuple(scrubbed)
+    if isinstance(value, (set, frozenset)):
+        # Sets are not JSON-serializable, so the append will still be
+        # rejected with a typed error — but that error message (and any
+        # debugger peeking at the attribute) must not see raw PHI.
+        cleaned = {scrub_value(v) for v in value}
+        return frozenset(cleaned) if isinstance(value, frozenset) else cleaned
     return value
 
 
@@ -75,6 +81,18 @@ def _hash_entry(index: int, timestamp: float, stream: str, level: str,
         sort_keys=True, separators=(",", ":"),
     ).encode()
     return hashlib.sha256(payload).hexdigest()
+
+
+# Severity ranking for LogStore.entries(min_level=...).  Levels not in
+# the table (custom streams) rank above everything, so a min-level
+# filter never silently hides an entry it does not understand.
+LEVEL_RANKS: Dict[str, int] = {
+    "DEBUG": 10,
+    "INFO": 20,
+    "WARN": 30,
+    "ERROR": 40,
+    "CRITICAL": 50,
+}
 
 
 class LogStore:
@@ -125,13 +143,36 @@ class LogStore:
                 "log attributes are not JSON-serializable") from None
 
     def entries(self, stream: Optional[str] = None,
-                level: Optional[str] = None) -> List[LogEntry]:
-        """Filtered view over the log."""
-        result = self._entries
+                level: Optional[str] = None,
+                since_index: Optional[int] = None,
+                min_level: Optional[str] = None) -> List[LogEntry]:
+        """Filtered view over the log.
+
+        ``since_index`` keeps only entries at or past that index (the
+        tail-cursor idiom the health plane's log tail uses); ``level``
+        matches one level exactly while ``min_level`` keeps everything
+        at or above the given severity per :data:`LEVEL_RANKS`.  An
+        unknown ``min_level`` is a caller bug and raises
+        :class:`ConfigurationError`; entry levels outside the table are
+        ranked above everything so they are never silently dropped.
+        """
+        result: Iterable[LogEntry] = self._entries
+        if since_index is not None:
+            # Entries are index-ordered by construction: slice, don't scan.
+            result = self._entries[max(0, since_index):]
         if stream is not None:
             result = [e for e in result if e.stream == stream]
         if level is not None:
             result = [e for e in result if e.level == level]
+        if min_level is not None:
+            if min_level not in LEVEL_RANKS:
+                raise ConfigurationError(
+                    f"unknown min_level {min_level!r} (expected one of "
+                    f"{', '.join(sorted(LEVEL_RANKS, key=LEVEL_RANKS.get))})")
+            threshold = LEVEL_RANKS[min_level]
+            top = max(LEVEL_RANKS.values()) + 1
+            result = [e for e in result
+                      if LEVEL_RANKS.get(e.level, top) >= threshold]
         return list(result)
 
     def __len__(self) -> int:
@@ -160,9 +201,20 @@ class MetricsRegistry:
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, List[float]] = {}
         self._exemplars: Dict[str, Tuple[float, str]] = {}
+        # Optional windowed time-series sink (healthplane).  When bound,
+        # every counter increment, gauge set, and histogram sample also
+        # lands in a clock-aligned window, giving existing call sites a
+        # time dimension without touching them.
+        self._series = None
+
+    def bind_series(self, store: Any) -> None:
+        """Mirror all future samples into a windowed time-series store."""
+        self._series = store
 
     def incr(self, name: str, value: float = 1.0) -> float:
         self._counters[name] = self._counters.get(name, 0.0) + value
+        if self._series is not None:
+            self._series.record(name, value)
         return self._counters[name]
 
     def counter(self, name: str) -> float:
@@ -170,6 +222,8 @@ class MetricsRegistry:
 
     def set_gauge(self, name: str, value: float) -> None:
         self._gauges[name] = value
+        if self._series is not None:
+            self._series.record(name, value)
 
     def gauge(self, name: str) -> Optional[float]:
         return self._gauges.get(name)
@@ -181,6 +235,8 @@ class MetricsRegistry:
         the histogram's exemplar, so an outlier in a latency summary
         links straight back to its span tree."""
         self._histograms.setdefault(name, []).append(value)
+        if self._series is not None:
+            self._series.record(name, value)
         if trace_id is not None:
             current = self._exemplars.get(name)
             if current is None or value >= current[0]:
@@ -230,22 +286,42 @@ class MonitoringService:
         self.clock = clock if clock is not None else SimClock()
         self.logs = LogStore(self.clock)
         self.metrics = MetricsRegistry()
+        # Optional health control plane (repro.cloudsim.healthplane):
+        # instrumented components reach the plane through this hook, the
+        # same None-by-default pattern as tracer/fault_plan attributes.
+        self.healthplane: Optional[Any] = None
 
     def log(self, stream: str, message: str, level: str = "INFO",
             **attributes: Any) -> LogEntry:
         self.metrics.incr(f"log.{stream}.{level.lower()}")
         return self.logs.append(stream, message, level=level, **attributes)
 
-    def timed(self, metric: str) -> "_Timer":
-        """Context manager measuring a simulated-time span."""
-        return _Timer(self, metric)
+    def timed(self, metric: str,
+              trace_id: Optional[str] = None) -> "_Timer":
+        """Context manager measuring a simulated-time span.
+
+        ``trace_id`` is threaded through to
+        :meth:`MetricsRegistry.observe`, so timer-recorded histograms
+        carry exemplars exactly like direct ``observe(trace_id=...)``
+        calls; it may also be set after entry via
+        :meth:`_Timer.set_trace` once a span id exists.
+        """
+        return _Timer(self, metric, trace_id)
 
 
 class _Timer:
-    def __init__(self, monitoring: MonitoringService, metric: str) -> None:
+    def __init__(self, monitoring: MonitoringService, metric: str,
+                 trace_id: Optional[str] = None) -> None:
         self._monitoring = monitoring
         self._metric = metric
+        self._trace_id = trace_id
         self._start = 0.0
+
+    def set_trace(self, trace_id: Optional[str]) -> "_Timer":
+        """Late-bind the exemplar trace id (e.g. from a span opened
+        inside the timed block)."""
+        self._trace_id = trace_id
+        return self
 
     def __enter__(self) -> "_Timer":
         self._start = self._monitoring.clock.now
@@ -253,4 +329,5 @@ class _Timer:
 
     def __exit__(self, *exc: Any) -> None:
         elapsed = self._monitoring.clock.now - self._start
-        self._monitoring.metrics.observe(self._metric, elapsed)
+        self._monitoring.metrics.observe(self._metric, elapsed,
+                                         trace_id=self._trace_id)

@@ -212,10 +212,14 @@ class ApiGateway:
         self._request_counter += 1
         request_id = f"req-{self._request_counter:08d}"
         started = self.clock.now
+        # Request identity for health accounting; _handle refines these
+        # once the route resolves and the caller authenticates (a 401 or
+        # 404 never learns the tenant).
+        observed = {"tenant": "unauthenticated", "route": request.path}
         with maybe_span(self.tracer, "api.dispatch", "gateway",
                         path=request.path, request_id=request_id) as span:
             try:
-                body = self._handle(request, request_id)
+                body = self._handle(request, request_id, observed)
             except Exception as exc:
                 status = http_status_for(exc)
                 span.set_attribute("http.status", status)
@@ -228,19 +232,36 @@ class ApiGateway:
                 self.monitoring.metrics.observe(
                     "api.latency", self.clock.now - started,
                     trace_id=span.trace_id)
+                self._observe_health(observed, status,
+                                     self.clock.now - started, span.trace_id)
                 return ApiResponse(status, {"error": str(exc)}, request_id)
             span.set_attribute("http.status", 200)
             self.monitoring.metrics.incr("api.status.200")
             self.monitoring.metrics.observe(
                 "api.latency", self.clock.now - started,
                 trace_id=span.trace_id)
+            self._observe_health(observed, 200, self.clock.now - started,
+                                 span.trace_id)
             return ApiResponse(200, body, request_id)
 
-    def _handle(self, request: ApiRequest, request_id: str) -> Any:
+    def _observe_health(self, observed: Dict[str, str], status: int,
+                        latency_s: float,
+                        trace_id: Optional[str]) -> None:
+        """Feed the health plane, when one is attached to monitoring."""
+        plane = self.monitoring.healthplane
+        if plane is not None:
+            plane.observe_request(tenant=observed["tenant"],
+                                  route=observed["route"], status=status,
+                                  latency_s=latency_s, trace_id=trace_id)
+
+    def _handle(self, request: ApiRequest, request_id: str,
+                observed: Dict[str, str]) -> Any:
         route = self._resolve(request.path)
+        observed["route"] = route.path
 
         # 1. Authentication (federated identity).
         user: User = self.federation.authenticate(request.token)
+        observed["tenant"] = user.tenant_id
 
         # 2. Rate limiting per tenant — gateway-wide, then per-route.
         if not self._limiter.allow(user.tenant_id):

@@ -130,6 +130,11 @@ class CircuitBreaker:
             self.monitoring.log(
                 "resilience", f"breaker {self.name} -> {state.value}",
                 level="WARN" if state is BreakerState.OPEN else "INFO")
+            plane = self.monitoring.healthplane
+            if plane is not None:
+                plane.events.publish("resilience", "breaker.transition",
+                                     breaker=self.name, state=state.value,
+                                     failures=self._consecutive_failures)
 
 
 class ResilientExecutor:
@@ -197,6 +202,8 @@ class ResilientExecutor:
                     last_error = hedge.error
                     hedged = True
                     self._metric("resilience.hedged")
+                    self._publish("hedge.fired", operation=name,
+                                  from_target=target_name)
                     span.add_event("hedge.fired", self.clock.now,
                                    from_target=target_name)
                 except Exception as exc:
@@ -264,6 +271,8 @@ class ResilientExecutor:
                     # The result stands — sequential simulation can't race
                     # them.
                     self._metric("resilience.hedge_would_fire")
+                    self._publish("hedge.would_fire", operation=name,
+                                  elapsed_s=elapsed)
                     span.add_event("hedge.would_fire", self.clock.now,
                                    elapsed_s=elapsed)
                 return result
@@ -274,6 +283,12 @@ class ResilientExecutor:
 
     def _metric(self, name: str) -> None:
         self.monitoring.metrics.incr(name)
+
+    def _publish(self, kind: str, **attributes: Any) -> None:
+        """Emit a lifecycle event when a health plane is attached."""
+        plane = self.monitoring.healthplane
+        if plane is not None:
+            plane.events.publish("resilience", kind, **attributes)
 
 
 class _HedgeNow(Exception):

@@ -493,6 +493,9 @@ class ShardedIngestionFrontend:
             {"batch_id": batch_id, "merkle_root": buf["tree"].root_hex,
              "events": buf["events"]})))
         self._sealed_events += len(buf["events"])
+        self._publish("ingestion.batch_sealed",
+                      shard=self.network.shard_name(shard),
+                      batch=batch_id, events=len(buf["events"]))
 
     def flush(self, round_size: Optional[int] = None,
               pipelined: bool = True) -> Optional[ShardedIngestReport]:
@@ -502,14 +505,30 @@ class ShardedIngestionFrontend:
         limits how many batch transactions each shard commits per
         pipeline round.  Returns the ingest report, or ``None`` when
         there was nothing to commit.
+
+        The queue state (and its ``ingestion.queue_depth`` gauge) is
+        only cleared after the ingest succeeds: a failed ingest keeps
+        the sealed batches queued, so the gauge reflects the events
+        still awaiting commit and a later :meth:`flush` retries them.
         """
         for shard in sorted(self._buffers):
             self._seal(shard)
-        sealed, self._sealed = self._sealed, []
+        if not self._sealed:
+            self.monitoring.metrics.set_gauge("ingestion.queue_depth", 0)
+            return None
+        sealed = list(self._sealed)
+        self._publish("ingestion.flush", batches=len(sealed),
+                      events=self._sealed_events)
+        report = self.network.ingest(self.submitter, sealed,
+                                     round_size=round_size,
+                                     pipelined=pipelined)
+        self._sealed = []
         self._sealed_events = 0
         self.monitoring.metrics.set_gauge("ingestion.queue_depth", 0)
-        if not sealed:
-            return None
-        return self.network.ingest(self.submitter, sealed,
-                                   round_size=round_size,
-                                   pipelined=pipelined)
+        return report
+
+    def _publish(self, kind: str, **attributes: Any) -> None:
+        """Emit a lifecycle event when a health plane is attached."""
+        plane = self.monitoring.healthplane
+        if plane is not None:
+            plane.events.publish("ingestion", kind, **attributes)

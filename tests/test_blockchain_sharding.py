@@ -389,3 +389,52 @@ class TestDegradedShardedChannels:
         assert net.monitoring.metrics.counter(
             "blockchain.degraded_commits") >= 1
         assert channel.peers_converged()
+
+
+class TestPendingGaugeFreshness:
+    """Regressions: ``blockchain.<shard>.pending`` must never go stale."""
+
+    def _gauge(self, net, shard):
+        return net.monitoring.metrics.gauge(
+            f"blockchain.{net.shard_name(shard)}.pending")
+
+    def test_submit_keeps_gauge_equal_to_orderer_queue(self):
+        # Regression: submit() enqueued on the shard orderer without
+        # touching the gauge, so it read whatever the last bulk ingest
+        # left behind.
+        net = ShardedBlockchainNetwork(4, seed=0, batch_size=100)
+        key = "patient-0001"
+        shard = net.router.shard_for(key)
+        for i in range(3):
+            net.submit("ingestion-service", key, "provenance",
+                       "record_event", handle=f"h-{i}", data_hash="aa",
+                       event="received", actor="a")
+            assert self._gauge(net, shard) == \
+                net.channels[shard].orderer.pending_count == i + 1
+
+    def test_flush_all_drains_gauges_to_zero(self):
+        net = ShardedBlockchainNetwork(4, seed=0, batch_size=100)
+        for i in range(8):
+            net.submit("ingestion-service", f"patient-{i:04d}",
+                       "provenance", "record_event", handle=f"h-{i}",
+                       data_hash="aa", event="received", actor="a")
+        net.flush_all()
+        for shard in range(net.n_shards):
+            assert self._gauge(net, shard) == 0
+            assert net.channels[shard].orderer.pending_count == 0
+
+    def test_aborted_ingest_leaves_true_residue_not_stale_snapshot(self):
+        # Regression: an ingest that died mid-run (here: round 2's batch
+        # cannot meet the endorsement policy because its chaincode is
+        # not installed) left round 1's mid-round snapshot on the gauge
+        # forever, even though round 1 had already flushed to 0.
+        from repro.core.errors import EndorsementError
+        net = ShardedBlockchainNetwork(2, seed=0, batch_size=8)
+        key = "patient-0001"
+        shard = net.router.shard_for(key)
+        good = [(key, _prov_request(i)) for i in range(4)]
+        bad = [(key, ("not-installed", "boom", {}))]
+        with pytest.raises(EndorsementError):
+            net.ingest("ingestion-service", good + bad, round_size=4)
+        assert net.channels[shard].orderer.pending_count == 0
+        assert self._gauge(net, shard) == 0   # was 4 before the fix

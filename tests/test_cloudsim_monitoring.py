@@ -6,6 +6,7 @@ import pytest
 
 from repro.cloudsim.clock import SimClock
 from repro.cloudsim.monitoring import (
+    LEVEL_RANKS,
     LogStore,
     MetricsRegistry,
     MonitoringService,
@@ -212,3 +213,123 @@ class TestMonitoringService:
         with monitoring.timed("span"):
             monitoring.clock.advance(2.0)
         assert monitoring.metrics.summary("span")["max"] == pytest.approx(2.0)
+
+
+class TestScrubSets:
+    def test_set_elements_scrubbed_in_place(self):
+        cleaned = scrub_value({"a@b.com", "fine"})
+        assert isinstance(cleaned, set)
+        assert cleaned == {"[REDACTED]", "fine"}
+
+    def test_frozenset_stays_frozen(self):
+        cleaned = scrub_value(frozenset({"ssn 123-45-6789"}))
+        assert isinstance(cleaned, frozenset)
+        assert not any("123-45-6789" in v for v in cleaned)
+
+    def test_set_attribute_rejected_without_leaking_phi(self):
+        # Sets are still not JSON-serializable, so the append is rejected
+        # with the usual typed error naming the key — but the scrubbed
+        # attribute (and thus anything the error path repr()s) must not
+        # hold the raw SSN.
+        store = LogStore()
+        with pytest.raises(ConfigurationError, match="'bad'"):
+            store.append("s", "msg", bad={"ssn 123-45-6789"})
+        assert len(store) == 0
+
+    def test_nested_set_inside_dict_scrubbed(self):
+        cleaned = scrub_value({"contacts": {"a@b.com"}})
+        assert cleaned["contacts"] == {"[REDACTED]"}
+
+
+class TestLogEntriesIndexedFiltering:
+    def _store(self):
+        store = LogStore()
+        store.append("api", "d", level="DEBUG")
+        store.append("api", "i", level="INFO")
+        store.append("ingest", "w", level="WARN")
+        store.append("api", "e", level="ERROR")
+        store.append("api", "c", level="CRITICAL")
+        return store
+
+    def test_since_index_slices_from_cursor(self):
+        store = self._store()
+        assert [e.message for e in store.entries(since_index=3)] == ["e", "c"]
+        assert store.entries(since_index=len(store)) == []
+
+    def test_since_index_clamps_negative(self):
+        store = self._store()
+        assert len(store.entries(since_index=-5)) == len(store)
+
+    def test_min_level_ranks(self):
+        store = self._store()
+        assert [e.message for e in store.entries(min_level="WARN")] == [
+            "w", "e", "c"]
+        assert [e.message for e in store.entries(min_level="DEBUG")] == [
+            "d", "i", "w", "e", "c"]
+
+    def test_min_level_composes_with_stream_and_cursor(self):
+        store = self._store()
+        got = store.entries(stream="api", since_index=1, min_level="ERROR")
+        assert [e.message for e in got] == ["e", "c"]
+
+    def test_unknown_min_level_rejected(self):
+        store = self._store()
+        with pytest.raises(ConfigurationError, match="FATAL"):
+            store.entries(min_level="FATAL")
+
+    def test_custom_entry_level_never_filtered_out(self):
+        # An entry appended with a level outside LEVEL_RANKS ranks above
+        # every known level, so a min_level filter keeps it visible
+        # rather than silently hiding it.
+        store = LogStore()
+        store.append("s", "odd", level="AUDIT")
+        assert [e.message for e in store.entries(min_level="CRITICAL")] == [
+            "odd"]
+
+    def test_level_ranks_order(self):
+        ranks = [LEVEL_RANKS[l] for l in
+                 ("DEBUG", "INFO", "WARN", "ERROR", "CRITICAL")]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(ranks)
+
+
+class TestTimedExemplars:
+    def test_timed_threads_trace_id_to_exemplar(self):
+        monitoring = MonitoringService()
+        with monitoring.timed("lat", trace_id="t-00000042"):
+            monitoring.clock.advance(1.5)
+        assert monitoring.metrics.exemplar("lat") == {
+            "value": 1.5, "trace_id": "t-00000042"}
+
+    def test_set_trace_late_binds_inside_the_block(self):
+        monitoring = MonitoringService()
+        with monitoring.timed("lat") as timer:
+            timer.set_trace("t-00000007")
+            monitoring.clock.advance(0.25)
+        assert monitoring.metrics.exemplar("lat")["trace_id"] == "t-00000007"
+
+    def test_untraced_timer_leaves_no_exemplar(self):
+        monitoring = MonitoringService()
+        with monitoring.timed("lat"):
+            monitoring.clock.advance(1.0)
+        assert monitoring.metrics.exemplar("lat") is None
+
+
+class TestSeriesBinding:
+    def test_bound_registry_mirrors_into_series(self):
+        from repro.cloudsim.healthplane import TimeSeriesStore
+        clock = SimClock()
+        monitoring = MonitoringService(clock)
+        store = TimeSeriesStore(clock, interval_s=10.0)
+        monitoring.metrics.bind_series(store)
+        monitoring.metrics.incr("hits")
+        monitoring.metrics.observe("lat", 0.5)
+        monitoring.metrics.set_gauge("depth", 7.0)
+        assert store.total("hits", 10.0) == 1.0
+        assert store.total("lat", 10.0) == 0.5
+        assert store.latest("depth").last == 7.0
+
+    def test_unbound_registry_unchanged(self):
+        metrics = MetricsRegistry()
+        metrics.incr("hits")       # must not raise without a bound store
+        assert metrics.counter("hits") == 1

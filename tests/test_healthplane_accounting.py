@@ -1,0 +1,125 @@
+"""Tests for heavy-hitter accounting: space-saving sketch and usage top-k."""
+
+import random
+
+import pytest
+
+from repro.cloudsim.healthplane import SpaceSavingSketch, UsageAccountant
+from repro.core.errors import ConfigurationError
+
+
+class TestSpaceSavingSketch:
+    def test_exact_when_under_capacity(self):
+        sketch = SpaceSavingSketch(capacity=8)
+        for key, count in (("a", 5), ("b", 3), ("c", 1)):
+            for _ in range(count):
+                sketch.offer(key)
+        assert sketch.exact
+        assert [(h.key, h.estimate, h.error) for h in sketch.top(3)] == [
+            ("a", 5.0, 0.0), ("b", 3.0, 0.0), ("c", 1.0, 0.0)]
+
+    def test_replacement_inherits_min_count_as_error(self):
+        sketch = SpaceSavingSketch(capacity=2)
+        sketch.offer("a"); sketch.offer("a")
+        sketch.offer("b")
+        sketch.offer("c")                      # evicts b (count 1)
+        assert not sketch.exact
+        estimate, error = sketch.estimate("c")
+        assert (estimate, error) == (2.0, 1.0)
+        assert sketch.estimate("b") == (0.0, 0.0)
+
+    def test_overestimates_never_undercount(self):
+        rng = random.Random(7)
+        truth = {}
+        sketch = SpaceSavingSketch(capacity=16)
+        for _ in range(2000):
+            key = f"k{int(rng.paretovariate(1.2)) % 100:03d}"
+            truth[key] = truth.get(key, 0) + 1
+            sketch.offer(key)
+        for hitter in sketch.top(16):
+            true = truth.get(hitter.key, 0)
+            assert hitter.estimate >= true
+            assert hitter.guaranteed <= true
+
+    def test_true_heavy_hitter_survives_tail_churn(self):
+        sketch = SpaceSavingSketch(capacity=4)
+        for _ in range(100):
+            sketch.offer("whale")
+        for i in range(200):                   # 200 distinct one-hit keys
+            sketch.offer(f"tail-{i:04d}")
+        top = sketch.top(1)[0]
+        assert top.key == "whale"
+        assert top.estimate >= 100.0
+
+    def test_weighted_updates(self):
+        sketch = SpaceSavingSketch(capacity=4)
+        sketch.offer("a", weight=2.5)
+        sketch.offer("a", weight=0.5)
+        assert sketch.estimate("a") == (3.0, 0.0)
+        assert sketch.total == 3.0
+
+    def test_deterministic_tie_break_on_key(self):
+        def run():
+            sketch = SpaceSavingSketch(capacity=2)
+            for key in ("b", "a", "d", "c"):   # all count 1: ties everywhere
+                sketch.offer(key)
+            return [h.key for h in sketch.top(2)]
+        assert run() == run()
+
+    def test_top_k_clamps_to_population(self):
+        sketch = SpaceSavingSketch(capacity=8)
+        sketch.offer("only")
+        assert len(sketch.top(5)) == 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSavingSketch(capacity=0)
+        sketch = SpaceSavingSketch(capacity=2)
+        with pytest.raises(ConfigurationError):
+            sketch.offer("a", weight=-1.0)
+
+
+class TestUsageAccountant:
+    def test_charge_splits_dimensions(self):
+        accountant = UsageAccountant()
+        accountant.charge("tenant", "t1", latency_s=0.25)
+        accountant.charge("tenant", "t1", latency_s=0.75, faults=1.0)
+        assert accountant.top("tenant", "requests")[0].estimate == 2.0
+        assert accountant.top("tenant", "latency_s")[0].estimate == 1.0
+        assert accountant.top("tenant", "faults")[0].estimate == 1.0
+
+    def test_scopes_are_independent(self):
+        accountant = UsageAccountant()
+        accountant.charge("tenant", "t1")
+        accountant.charge("shard", "shard-0", requests=5.0)
+        assert accountant.scopes() == ["shard", "tenant"]
+        assert accountant.top("shard", "requests")[0].key == "shard-0"
+        assert [h.key for h in accountant.top("tenant", "requests")] == ["t1"]
+
+    def test_unknown_dimension_rejected(self):
+        accountant = UsageAccountant()
+        with pytest.raises(ConfigurationError):
+            accountant.top("tenant", "cpu")
+
+    def test_unknown_scope_is_empty(self):
+        assert UsageAccountant().top("tenant", "requests") == []
+
+    def test_snapshot_shape(self):
+        accountant = UsageAccountant()
+        accountant.charge("tenant", "t2", latency_s=0.5)
+        accountant.charge("tenant", "t1", latency_s=0.1, faults=1.0)
+        snap = accountant.snapshot(k=2)
+        assert set(snap) == {"tenant"}
+        assert [h["key"] for h in snap["tenant"]["latency_s"]] == ["t2", "t1"]
+        assert [h["key"] for h in snap["tenant"]["faults"]] == ["t1"]
+
+    def test_snapshot_is_deterministic_json(self):
+        import json
+
+        def run():
+            accountant = UsageAccountant(capacity=4)
+            for i in range(40):
+                accountant.charge("tenant", f"t{i % 7}",
+                                  latency_s=0.01 * (i % 3))
+            return json.dumps(accountant.snapshot(), sort_keys=True)
+        assert run() == run()

@@ -1,0 +1,180 @@
+"""Tests for SLO burn-rate alerting: rules, edges, episodes, stream events."""
+
+import pytest
+
+from repro.cloudsim.clock import SimClock
+from repro.cloudsim.healthplane import (
+    BurnRateRule,
+    EventBus,
+    SloEvaluator,
+    SloObjective,
+    TimeSeriesStore,
+)
+from repro.cloudsim.healthplane.slo import FAST_PAGE, SLOW_TICKET, Severity
+from repro.cloudsim.monitoring import MonitoringService
+from repro.core.errors import ConfigurationError
+
+
+def _setup(target=0.999, rules=None):
+    clock = SimClock()
+    store = TimeSeriesStore(clock, interval_s=60.0, window_count=4320)
+    evaluator = SloEvaluator(store, clock)
+    objective = SloObjective(
+        "api", good_series="good", bad_series="bad", target=target,
+        rules=rules if rules is not None else (FAST_PAGE, SLOW_TICKET))
+    evaluator.register(objective)
+    return clock, store, evaluator, objective
+
+
+def _traffic(clock, store, *, seconds, period_s=2.0, bad_every=0):
+    """Constant-rate traffic; every ``bad_every``-th request fails."""
+    n = 0
+    end = clock.now + seconds
+    while clock.now < end:
+        n += 1
+        bad = bad_every and n % bad_every == 0
+        store.record("bad" if bad else "good", 1.0)
+        clock.advance(period_s)
+
+
+class TestBurnRateMath:
+    def test_zero_traffic_is_zero_burn(self):
+        _, _, evaluator, objective = _setup()
+        assert evaluator.burn_rate(objective, 300.0) == 0.0
+
+    def test_all_good_is_zero_burn(self):
+        clock, store, evaluator, objective = _setup()
+        _traffic(clock, store, seconds=300)
+        assert evaluator.burn_rate(objective, 300.0) == 0.0
+
+    def test_burn_is_error_rate_over_budget(self):
+        clock, store, evaluator, objective = _setup(target=0.999)
+        _traffic(clock, store, seconds=300, bad_every=10)  # 10% errors
+        burn = evaluator.burn_rate(objective, 600.0)
+        assert burn == pytest.approx(0.1 / 0.001, rel=0.05)
+
+    def test_error_budget(self):
+        _, _, _, objective = _setup(target=0.999)
+        assert objective.error_budget == pytest.approx(0.001)
+
+
+class TestAlertLifecycle:
+    def test_page_fires_only_when_both_windows_burn(self):
+        clock, store, evaluator, _ = _setup(rules=(FAST_PAGE,))
+        # 50% failures for one minute: the 5m window burns far past
+        # 14.4x immediately, but so does the 1h window (it has no calm
+        # history), so seed an hour of clean traffic first.
+        _traffic(clock, store, seconds=3600)
+        assert evaluator.evaluate() == []
+        # Now a short 60s blip: 5m window burns hot; 1h window still
+        # dominated by the clean hour -> burn stays under 14.4 -> no page.
+        _traffic(clock, store, seconds=60, bad_every=2)
+        assert evaluator.evaluate() == []
+        # Sustain the failures: the 1h window crosses too -> page.
+        _traffic(clock, store, seconds=600, bad_every=2)
+        fired = evaluator.evaluate()
+        assert [a.severity for a in fired] == ["page"]
+
+    def test_rising_edge_dedupe(self):
+        clock, store, evaluator, _ = _setup(rules=(FAST_PAGE,))
+        _traffic(clock, store, seconds=1200, bad_every=2)
+        assert len(evaluator.evaluate()) == 1
+        _traffic(clock, store, seconds=120, bad_every=2)
+        assert evaluator.evaluate() == []          # still the same episode
+        assert len(evaluator.active_alerts()) == 1
+
+    def test_alert_resolves_when_burn_stops(self):
+        clock, store, evaluator, _ = _setup(rules=(FAST_PAGE,))
+        _traffic(clock, store, seconds=1200, bad_every=2)
+        assert len(evaluator.evaluate()) == 1
+        _traffic(clock, store, seconds=600)        # calm again: 5m recovers
+        assert evaluator.evaluate() == []
+        assert evaluator.active_alerts() == []
+        assert len(evaluator.alerts) == 1          # history keeps the episode
+
+    def test_new_episode_fires_a_new_alert(self):
+        clock, store, evaluator, _ = _setup(rules=(FAST_PAGE,))
+        _traffic(clock, store, seconds=1200, bad_every=2)
+        first = evaluator.evaluate()[0]
+        _traffic(clock, store, seconds=4000)       # full recovery (1h drains)
+        evaluator.evaluate()
+        _traffic(clock, store, seconds=1200, bad_every=2)
+        second = evaluator.evaluate()[0]
+        assert second.alert_id != first.alert_id
+
+    def test_ticket_rule_fires_on_sustained_slow_burn(self):
+        clock, store, evaluator, _ = _setup(rules=(SLOW_TICKET,))
+        # 0.2% errors: burn 2x -- over the ticket factor, far under page.
+        _traffic(clock, store, seconds=int(3.2 * 86400), period_s=20.0,
+                 bad_every=500)
+        fired = evaluator.evaluate()
+        assert [a.severity for a in fired] == ["ticket"]
+
+
+class TestWiring:
+    def test_alert_publishes_stream_event_and_metric_and_log(self):
+        clock = SimClock()
+        monitoring = MonitoringService(clock)
+        store = TimeSeriesStore(clock)
+        bus = EventBus(clock, monitoring=monitoring)
+        sub = bus.subscribe("dash", kinds=["slo"])
+        evaluator = SloEvaluator(store, clock, events=bus,
+                                 monitoring=monitoring)
+        evaluator.register(SloObjective("api", good_series="good",
+                                        bad_series="bad",
+                                        rules=(FAST_PAGE,)))
+        _traffic(clock, store, seconds=1200, bad_every=2)
+        alert = evaluator.evaluate()[0]
+        _traffic(clock, store, seconds=600)
+        evaluator.evaluate()                       # resolves
+        kinds = [e.kind for e in sub.poll()]
+        assert kinds == ["slo.alert", "slo.alert_resolved"]
+        assert monitoring.metrics.counter("healthplane.alerts.page") == 1
+        assert monitoring.metrics.counter("healthplane.alerts.resolved") == 1
+        pages = monitoring.logs.entries(stream="healthplane", level="ERROR")
+        assert pages and alert.alert_id in pages[0].message
+
+    def test_alert_to_dict_is_json_ready(self):
+        import json
+        clock, store, evaluator, _ = _setup(rules=(FAST_PAGE,))
+        _traffic(clock, store, seconds=1200, bad_every=2)
+        alert = evaluator.evaluate()[0]
+        payload = json.loads(json.dumps(alert.to_dict()))
+        assert payload["severity"] == "page"
+        assert payload["factor"] == 14.4
+
+
+class TestValidation:
+    def test_rule_window_order_enforced(self):
+        with pytest.raises(ConfigurationError):
+            BurnRateRule("bad", short_window_s=3600.0, long_window_s=300.0,
+                         factor=2.0, severity=Severity.PAGE)
+
+    def test_rule_positive_factor(self):
+        with pytest.raises(ConfigurationError):
+            BurnRateRule("bad", short_window_s=60.0, long_window_s=300.0,
+                         factor=0.0, severity=Severity.PAGE)
+
+    def test_target_must_be_fractional(self):
+        for target in (0.0, 1.0, 1.5):
+            with pytest.raises(ConfigurationError):
+                SloObjective("s", good_series="g", bad_series="b",
+                             target=target)
+
+    def test_good_and_bad_series_must_differ(self):
+        with pytest.raises(ConfigurationError):
+            SloObjective("s", good_series="same", bad_series="same")
+
+    def test_duplicate_objective_rejected(self):
+        _, _, evaluator, _ = _setup()
+        with pytest.raises(ConfigurationError):
+            evaluator.register(SloObjective("api", good_series="g",
+                                            bad_series="b"))
+
+    def test_rule_window_must_fit_store_span(self):
+        clock = SimClock()
+        store = TimeSeriesStore(clock, interval_s=60.0, window_count=10)
+        evaluator = SloEvaluator(store, clock)
+        with pytest.raises(ConfigurationError):
+            evaluator.register(SloObjective("api", good_series="g",
+                                            bad_series="b"))  # needs 3 days

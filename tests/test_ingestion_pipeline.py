@@ -327,3 +327,63 @@ class TestShardedIngestionFrontend:
         network = ShardedBlockchainNetwork(2, seed=5)
         with pytest.raises(ValueError):
             ShardedIngestionFrontend(network, events_per_batch=0)
+
+
+class TestFrontendQueueDepthFreshness:
+    """Regression: ``ingestion.queue_depth`` went to 0 on a *failed* flush.
+
+    The old flush cleared the sealed queue and zeroed the gauge before
+    calling ``network.ingest``, so an endorsement failure lost the
+    batches and reported an empty queue.  Now the state (and gauge) only
+    clears after a successful ingest, and the retained batches can be
+    retried.
+    """
+
+    def _frontend(self, n_shards=2, events_per_batch=4):
+        from repro.blockchain import ShardedBlockchainNetwork
+        from repro.ingestion import ShardedIngestionFrontend
+        network = ShardedBlockchainNetwork(n_shards, seed=5, batch_size=8)
+        return network, ShardedIngestionFrontend(
+            network, events_per_batch=events_per_batch)
+
+    def _crash_shard(self, network, shard, start_s=0.0, end_s=1_000.0):
+        from repro.cloudsim.faults import FaultPlan
+        plan = FaultPlan(seed=1, clock=network.clock)
+        channel = network.channels[shard]
+        for peer in channel.peers[:3]:   # 3 of 4 down: policy unmeetable
+            plan.crash_node(peer.peer_id, start_s=start_s, end_s=end_s)
+        for peer in channel.peers:
+            peer.fault_plan = plan
+
+    def test_failed_flush_keeps_queue_and_gauge(self):
+        from repro.core.errors import EndorsementError
+        network, frontend = self._frontend()
+        for i in range(4):               # same key -> one shard, one batch
+            frontend.record_event("patient-xyz", handle=f"h-{i}",
+                                  data_hash="aa", event="received",
+                                  actor="ingest")
+        shard = network.router.shard_for("patient-xyz")
+        self._crash_shard(network, shard)
+        with pytest.raises(EndorsementError):
+            frontend.flush()
+        metrics = network.monitoring.metrics
+        assert frontend.pending_events == 4        # batches retained
+        assert metrics.gauge("ingestion.queue_depth") == 4
+
+    def test_retry_after_recovery_commits_and_zeroes_gauge(self):
+        from repro.core.errors import EndorsementError
+        network, frontend = self._frontend()
+        for i in range(4):
+            frontend.record_event("patient-xyz", handle=f"h-{i}",
+                                  data_hash="aa", event="received",
+                                  actor="ingest")
+        shard = network.router.shard_for("patient-xyz")
+        self._crash_shard(network, shard, end_s=1_000.0)
+        with pytest.raises(EndorsementError):
+            frontend.flush()
+        network.clock.advance(2_000.0)             # peers recover
+        report = frontend.flush()                  # same sealed batch retried
+        assert report is not None and report.transactions == 1
+        assert frontend.pending_events == 0
+        assert network.monitoring.metrics.gauge("ingestion.queue_depth") == 0
+        assert network.peers_converged()

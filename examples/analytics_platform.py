@@ -3,17 +3,19 @@
 An approved data scientist works a model from raw data to deployment:
 
 1. author the analysis in a workspace (Jupyter/git stand-in): ordered
-   cells, audited execution, versioned artifacts, reproducibility check;
+   cells executed as a chained job on the compute layer, audited
+   execution, versioned artifacts, reproducibility check;
 2. drive the model through the lifecycle registry (data cleaning ->
    generation -> testing -> deployment) with acceptance criteria;
-3. pick the best external AI service for text extraction using the
+3. validate the deployed model by submitting an evaluation task graph
+   through the versioned ``/v1/compute`` gateway API (authenticated,
+   rate-limited, RBAC-checked, audited);
+4. pick the best external AI service for text extraction using the
    platform's monitoring + standard accuracy tests;
-4. render the tenant dashboard: operations, compliance, billing.
+5. render the tenant dashboard: operations, compliance, billing.
 
 Run:  python examples/analytics_platform.py
 """
-
-import numpy as np
 
 from repro import HealthCloudPlatform
 from repro.analytics import (
@@ -21,15 +23,54 @@ from repro.analytics import (
     DeltModel,
     effect_recovery,
 )
+from repro.cloudsim.healthplane import HealthPlane
+from repro.compute import ComputeApi, JobSubmitRequest, TaskGraph, standard_scheduler
+from repro.core.api import ApiRequest
+from repro.rbac import (
+    Action,
+    ExternalIdentityProvider,
+    Permission,
+    Scope,
+    ScopeKind,
+)
 from repro.services import ServiceRegistry, SimulatedAiService
 from repro.workloads import generate_emr_cohort
 
 
 def main() -> None:
     platform = HealthCloudPlatform(seed=77)
+    plane = HealthPlane(platform.monitoring)
     context = platform.register_tenant("research-lab")
 
-    # -- 1. workspace authoring -------------------------------------------
+    # The compute layer: attested worker pool + deterministic scheduler,
+    # exposed publicly through the gateway's /v1/compute routes.
+    scheduler = standard_scheduler(clock=platform.clock,
+                                   monitoring=platform.monitoring)
+    gateway = platform.build_api_gateway(compute=ComputeApi(scheduler))
+
+    scientist = platform.rbac.register_user(context.tenant.tenant_id,
+                                            "data-scientist")
+    scope = Scope(ScopeKind.TENANT, context.tenant.tenant_id)
+    platform.rbac.define_role("researcher", [
+        Permission(Action.READ, "compute-jobs", scope),
+        Permission(Action.WRITE, "compute-jobs", scope),
+    ])
+    platform.rbac.bind_role(scientist.user_id, context.default_org.org_id,
+                            context.default_env.env_id, "researcher")
+    idp = ExternalIdentityProvider("lab-idp", b"lab-signing-key-0123",
+                                   platform.clock)
+    platform.federation.approve_idp("lab-idp", b"lab-signing-key-0123")
+    platform.federation.link_identity("lab-idp", "ds@lab",
+                                      scientist.user_id)
+
+    def call(path, **params):
+        return gateway.dispatch(ApiRequest(
+            path=path, token=idp.issue_token("ds@lab"),
+            scope_entity_id=context.tenant.tenant_id,
+            org_id=context.default_org.org_id,
+            env_id=context.default_env.env_id, params=params))
+
+    # -- 1. workspace authoring, executed on the compute layer -------------
     workspace = AnalysisWorkspace("hba1c-signal-study")
     workspace.add_cell(
         "cohort", lambda ns: generate_emr_cohort(
@@ -40,8 +81,8 @@ def main() -> None:
     workspace.add_cell(
         "recovery", lambda ns: effect_recovery(
             ns["model"].effects, ns["cohort"].true_effects, 0.8))
-    executions = workspace.run_all()
-    print("workspace executed:",
+    executions = workspace.run_all(scheduler=scheduler)
+    print("workspace executed as a compute job:",
           " -> ".join(e.name for e in executions))
     print("  reproducible:", workspace.reproducibility_check())
 
@@ -64,7 +105,33 @@ def main() -> None:
           f"(F1 {recovery['f1']:.2f} vs acceptance 0.85); "
           f"approved for enhanced clients: {record.approved_for_clients}")
 
-    # -- 3. external AI service selection ---------------------------------
+    # -- 3. validation job through the /v1/compute gateway API -------------
+    validation = TaskGraph("delt-validation")
+    validation.add_task(
+        "holdout", lambda ins: generate_emr_cohort(
+            n_patients=200, n_drugs=20, n_lowering=4, seed=6),
+        cost_s=0.100, output_bytes=2_000_000)
+    validation.add_task(
+        "refit", lambda ins: DeltModel(n_drugs=20, ridge=1.0).fit(
+            ins["holdout"].patients),
+        inputs=("holdout",), cost_s=0.400)
+    validation.add_task(
+        "score", lambda ins: effect_recovery(
+            ins["refit"].effects, ins["holdout"].true_effects, 0.8),
+        inputs=("refit", "holdout"), cost_s=0.010)
+    submitted = call("/compute/submit",
+                     request=JobSubmitRequest(graph=validation))
+    job_id = submitted.body["job_id"]
+    status = call("/compute/status", job_id=job_id).body
+    score = call("/compute/result", job_id=job_id,
+                 key="score").body["outputs"]["score"]
+    print(f"\nvalidation job {job_id} via /v1/compute: {status['state']} "
+          f"(makespan {status['makespan_s']:.3f}s simulated)")
+    print(f"  held-out F1 {score['f1']:.2f}; lifecycle events on the "
+          f"health plane: "
+          f"{sorted({e.kind for e in plane.events.recent() if e.source == 'compute' and e.kind.startswith('job.')})}")
+
+    # -- 4. external AI service selection ---------------------------------
     registry = ServiceRegistry(platform.clock)
     registry.register(SimulatedAiService("bluemix-nlu", "text-extraction",
                                          0.06, 0.99, 0.94, seed=1))
@@ -85,7 +152,7 @@ def main() -> None:
     scores, caveat = registry.feedback_for(best)
     print(f"  user feedback {scores} — note: {caveat}")
 
-    # -- 4. dashboard --------------------------------------------------------
+    # -- 5. dashboard --------------------------------------------------------
     platform.metering.record(context.tenant.tenant_id, "api.call", 240)
     print()
     print(platform.reports.operations_report().text)

@@ -83,25 +83,74 @@ class AnalysisWorkspace:
         self._cells.append((name, fn))
         return len(self._cells) - 1
 
-    def run_all(self) -> List[CellExecution]:
+    def _record(self, index: int, name: str, output: Any) -> CellExecution:
+        """The one place a cell's output becomes an execution record.
+
+        The repr is hashed in full and truncated only for display, and
+        both :meth:`run_all` and :meth:`run_cell` go through here — so
+        the reproducibility check always compares like with like, even
+        for outputs longer than the 200-char display cut.
+        """
+        rendered = repr(output)
+        return CellExecution(
+            cell_index=index,
+            name=name,
+            output_repr=rendered[:200],
+            output_hash=hashlib.sha256(rendered.encode()).hexdigest(),
+        )
+
+    def _execute(self, index: int, name: str, fn: CellFn) -> CellExecution:
+        output = fn(self.namespace)
+        self.namespace[name] = output
+        execution = self._record(index, name, output)
+        self.execution_log.append(execution)
+        return execution
+
+    def run_all(self, scheduler: Optional[Any] = None) -> List[CellExecution]:
         """Execute every cell in order against the shared namespace.
 
         Prefetched data survives the reset, so a re-run (e.g. the
         reproducibility check) sees the same warmed inputs.
+
+        With a :class:`~repro.compute.scheduler.Scheduler`, the cells are
+        submitted as a chained :class:`~repro.compute.graph.TaskGraph`
+        job instead of running inline — same ordering (each cell depends
+        on its predecessor), same execution log, but the run is placed,
+        traced, and accounted by the compute layer.
         """
         self.namespace = {into: dict(values)
                           for into, values in self._prefetched.items()}
         self.execution_log = []
+        if scheduler is not None:
+            return self._run_scheduled(scheduler)
         for index, (name, fn) in enumerate(self._cells):
-            output = fn(self.namespace)
-            self.namespace[name] = output
-            rendered = repr(output)
-            self.execution_log.append(CellExecution(
-                cell_index=index,
-                name=name,
-                output_repr=rendered[:200],
-                output_hash=hashlib.sha256(rendered.encode()).hexdigest(),
-            ))
+            self._execute(index, name, fn)
+        return list(self.execution_log)
+
+    def _run_scheduled(self, scheduler: Any) -> List[CellExecution]:
+        """Submit the cells as one chained compute job and drive it."""
+        from ..compute.graph import TaskGraph
+
+        graph = TaskGraph(f"workspace:{self.name}")
+        previous: Optional[str] = None
+        for index, (name, fn) in enumerate(self._cells):
+            task_id = f"cell-{index:03d}"
+
+            def cell_task(_inputs: Dict[str, Any], _i: int = index,
+                          _n: str = name, _f: CellFn = fn) -> str:
+                return self._execute(_i, _n, _f).output_hash
+
+            # Cells mutate the shared namespace, so they chain (each
+            # depends on its predecessor) and must not be replayed after
+            # a crash: idempotent=False fails the job instead of
+            # silently double-appending to the execution log.
+            graph.add_task(task_id, cell_task,
+                           deps=(previous,) if previous else (),
+                           idempotent=False)
+            previous = task_id
+        job = scheduler.submit(graph, submitted_by=f"workspace:{self.name}")
+        scheduler.run(job.job_id)
+        scheduler.result(job.job_id)     # raises the job's typed error
         return list(self.execution_log)
 
     def run_cell(self, index: int) -> CellExecution:
@@ -109,13 +158,7 @@ class AnalysisWorkspace:
         if not 0 <= index < len(self._cells):
             raise NotFoundError(f"no cell {index}")
         name, fn = self._cells[index]
-        output = fn(self.namespace)
-        self.namespace[name] = output
-        rendered = repr(output)
-        execution = CellExecution(index, name, rendered[:200],
-                                  hashlib.sha256(rendered.encode()).hexdigest())
-        self.execution_log.append(execution)
-        return execution
+        return self._execute(index, name, fn)
 
     # -- versioned artifacts -------------------------------------------------------
 

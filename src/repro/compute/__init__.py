@@ -1,0 +1,54 @@
+"""The distributed task-graph compute layer.
+
+The platform's job-execution tier: analytics work is described as a
+:class:`TaskGraph` (tasks + data dependencies), submitted as a job, and
+placed by a deterministic :class:`Scheduler` onto attested worker VMs on
+the simulated clock — with data-locality-aware placement, queue-depth
+autoscaling, lifecycle events on the health plane, lineage-based crash
+recovery, and per-attempt trace spans.
+
+Public surface: the versioned ``/v1/compute`` gateway routes
+(:class:`ComputeApi`); ``Scheduler.submit`` stays available as the
+internal surface for platform code.
+"""
+
+from .api import (
+    ComputeApi,
+    JobStatusResponse,
+    JobSubmitRequest,
+)
+from .graph import (
+    DEFAULT_OUTPUT_BYTES,
+    DEFAULT_TASK_COST_S,
+    DataObject,
+    TaskGraph,
+    TaskSpec,
+)
+from .pool import DRIVER_NODE, Worker, WorkerPool, standard_pool
+from .scheduler import (
+    Job,
+    JobState,
+    Scheduler,
+    TaskState,
+    standard_scheduler,
+)
+
+__all__ = [
+    "ComputeApi",
+    "DataObject",
+    "DEFAULT_OUTPUT_BYTES",
+    "DEFAULT_TASK_COST_S",
+    "DRIVER_NODE",
+    "Job",
+    "JobState",
+    "JobStatusResponse",
+    "JobSubmitRequest",
+    "Scheduler",
+    "TaskGraph",
+    "TaskSpec",
+    "TaskState",
+    "Worker",
+    "WorkerPool",
+    "standard_pool",
+    "standard_scheduler",
+]

@@ -1,0 +1,172 @@
+"""The worker fleet: attested VMs the scheduler places tasks onto.
+
+Workers are :class:`~repro.cloudsim.nodes.VirtualMachine` instances
+provisioned through the
+:class:`~repro.cloudsim.provisioning.ResourceProvisioningService`, so
+every node executing analytics tasks sits on an attested host and boots a
+signed image — the compute tier inherits the platform's trust chain
+instead of bypassing it.
+
+Each worker keeps a (simulated) **object store**: the set of object keys
+resident on that node with their sizes.  Placement reads it for
+locality; crashes clear it (that is what makes lineage recovery
+necessary).  The pool can grow and shrink at runtime — the scheduler's
+autoscaler calls :meth:`WorkerPool.grow` / :meth:`WorkerPool.shrink`
+against queue depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import AttestationError, ConfigurationError
+from ..cloudsim.nodes import (
+    Datacenter,
+    Host,
+    NodeState,
+    SoftwareComponent,
+    VirtualMachine,
+)
+from ..cloudsim.provisioning import ProvisionRequest, ResourceProvisioningService
+
+# The pseudo-node holding graph input data.  It models the submitting
+# client/driver and is never subject to crash windows.
+DRIVER_NODE = "driver"
+
+
+@dataclass
+class Worker:
+    """One provisioned compute node and its resident objects."""
+
+    worker_id: str
+    vm: VirtualMachine
+    host_id: str
+    ready_at_s: float                      # provisioning completes here
+    busy_until_s: float = 0.0
+    store: Dict[str, int] = field(default_factory=dict)   # key -> nbytes
+    tasks_started: int = 0
+    retired: bool = False
+
+    @property
+    def node_id(self) -> str:
+        return self.vm.vm_id
+
+    def idle_at(self, now: float) -> bool:
+        return (not self.retired and now >= self.ready_at_s
+                and now >= self.busy_until_s)
+
+
+class WorkerPool:
+    """Grows/shrinks a fleet of attested worker VMs."""
+
+    def __init__(self, provisioning: ResourceProvisioningService, *,
+                 bios: SoftwareComponent, kernel: SoftwareComponent,
+                 image: SoftwareComponent, vcpus: int = 2,
+                 memory_mb: int = 4096,
+                 provision_delay_s: float = 0.250) -> None:
+        self.provisioning = provisioning
+        self.bios = bios
+        self.kernel = kernel
+        self.image = image
+        self.vcpus = vcpus
+        self.memory_mb = memory_mb
+        self.provision_delay_s = provision_delay_s
+        self.workers: Dict[str, Worker] = {}
+        self._counter = 0
+        self.scaled_up = 0
+        self.scaled_down = 0
+
+    # -- sizing --------------------------------------------------------------
+
+    def grow(self, now_s: float) -> Worker:
+        """Provision one more worker; it becomes usable after the delay.
+
+        Raises :class:`AttestationError`/:class:`ConfigurationError`
+        straight from the provisioning service when no attested host has
+        room — the scheduler treats that as "cannot scale".
+        """
+        vm = self.provisioning.provision_vm(
+            ProvisionRequest(vcpus=self.vcpus, memory_mb=self.memory_mb,
+                             image=self.image,
+                             labels={"pool": "repro.compute"}),
+            self.bios, self.kernel)
+        host_id = next(host.host_id
+                       for host in self.provisioning.datacenter.hosts.values()
+                       if vm.vm_id in host.vms)
+        self._counter += 1
+        worker = Worker(worker_id=f"w-{self._counter:04d}", vm=vm,
+                        host_id=host_id,
+                        ready_at_s=now_s + self.provision_delay_s)
+        self.workers[worker.worker_id] = worker
+        self.scaled_up += 1
+        return worker
+
+    def shrink(self, worker: Worker) -> None:
+        """Retire one worker: stop its VM and free host capacity."""
+        worker.retired = True
+        worker.store.clear()
+        worker.vm.stop()
+        host = self.provisioning.datacenter.hosts.get(worker.host_id)
+        if host is not None:
+            host.vms.pop(worker.vm.vm_id, None)
+        self.scaled_down += 1
+
+    # -- health --------------------------------------------------------------
+
+    def node_up(self, worker: Worker, fault_plan=None) -> bool:
+        """Is the worker's node currently able to run tasks?
+
+        Consults the VM/host state *and* the fault plan's crash windows,
+        so a window that the injector has not ticked onto the nodes yet
+        is still honoured deterministically.
+        """
+        if worker.retired:
+            return False
+        if worker.vm.state is not NodeState.RUNNING:
+            return False
+        host = self.provisioning.datacenter.hosts.get(worker.host_id)
+        if host is not None and host.state is not NodeState.RUNNING:
+            return False
+        if fault_plan is not None:
+            if fault_plan.node_down(worker.node_id):
+                return False
+            if fault_plan.node_down(worker.host_id):
+                return False
+        return True
+
+    def active(self) -> List[Worker]:
+        """Non-retired workers, in stable id order."""
+        return [self.workers[w] for w in sorted(self.workers)
+                if not self.workers[w].retired]
+
+    def size(self) -> int:
+        return sum(1 for w in self.workers.values() if not w.retired)
+
+
+def standard_pool(datacenter: Optional[Datacenter] = None, *,
+                  hosts: int = 4, monitoring=None,
+                  provision_delay_s: float = 0.250,
+                  vcpus: int = 2, memory_mb: int = 4096) -> WorkerPool:
+    """A ready-to-use pool: TPM hosts, signed images, attesting service.
+
+    Convenience for benchmarks/examples; production wiring passes its own
+    :class:`ResourceProvisioningService` with real attestation hooks.
+    """
+    bios = SoftwareComponent("bios", b"compute-bios-1.0")
+    kernel = SoftwareComponent("kernel", b"compute-kernel-1.0")
+    hypervisor = SoftwareComponent("hypervisor", b"compute-hv-1.0")
+    image = SoftwareComponent("task-runtime", b"compute-runtime-1.0")
+    if datacenter is None:
+        datacenter = Datacenter("compute-dc")
+        for i in range(hosts):
+            datacenter.add_host(Host(host_id=f"compute-host-{i:02d}",
+                                     bios=bios, hypervisor=hypervisor,
+                                     has_tpm=True))
+    if not datacenter.hosts:
+        raise ConfigurationError("standard_pool needs at least one host")
+    provisioning = ResourceProvisioningService(datacenter,
+                                               monitoring=monitoring)
+    return WorkerPool(provisioning, bios=bios, kernel=kernel, image=image,
+                      vcpus=vcpus, memory_mb=memory_mb,
+                      provision_delay_s=provision_delay_s)

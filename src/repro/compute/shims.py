@@ -1,0 +1,56 @@
+"""Deprecated inline-execution shims for the heavy analytics entry points.
+
+Before the compute layer existed, examples and benchmarks fit JMF/DELT
+models by calling the analytics functions inline on the caller — which
+is exactly the "cannot scale past one simulated core" shape the task
+graph API replaces.  These wrappers keep old call sites running while
+emitting a :class:`DeprecationWarning` that points at the ``/v1/compute``
+submission path (:mod:`repro.compute.api`).
+
+New code should build a :class:`~repro.compute.graph.TaskGraph` and
+submit it through the gateway; these shims will be removed once every
+call site has migrated.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Optional, Sequence
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.compute.shims.{name} runs the analysis inline on the "
+        f"caller and is deprecated; build a TaskGraph and submit it "
+        f"through the /v1/compute gateway API (repro.compute.api) or "
+        f"Scheduler.submit instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def run_jmf(training, drug_sources: Dict[str, Any],
+            disease_sources: Dict[str, Any], *, rank: int = 10,
+            alpha: float = 0.5, seed: int = 1):
+    """Deprecated: fit Joint Matrix Factorization inline."""
+    _deprecated("run_jmf")
+    from ..analytics import JointMatrixFactorization
+
+    return JointMatrixFactorization(rank=rank, alpha=alpha, seed=seed).fit(
+        training, drug_sources, disease_sources)
+
+
+def run_delt(patients: Sequence[Any], *, n_drugs: int, ridge: float = 1.0):
+    """Deprecated: fit the DELT drug-effect model inline."""
+    _deprecated("run_delt")
+    from ..analytics import DeltModel
+
+    return DeltModel(n_drugs=n_drugs, ridge=ridge).fit(patients)
+
+
+def run_similarity(universe, *, side: str = "drug") -> Dict[str, Any]:
+    """Deprecated: build all similarity sources for one side inline."""
+    _deprecated("run_similarity")
+    from ..analytics import DiseaseSimilarityBuilder, DrugSimilarityBuilder
+
+    builder = (DrugSimilarityBuilder(universe) if side == "drug"
+               else DiseaseSimilarityBuilder(universe))
+    return builder.all_sources()

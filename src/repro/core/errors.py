@@ -111,6 +111,26 @@ class DisconnectedError(HealthCloudError):
     """A client operation required connectivity while offline."""
 
 
+class ComputeError(HealthCloudError):
+    """A distributed compute job could not be scheduled or executed."""
+
+
+class TaskFailedError(ComputeError):
+    """A task function raised; the owning job is failed."""
+
+
+class TaskCancelledError(ComputeError):
+    """The job was cancelled before this operation could complete."""
+
+
+class NonIdempotentReplayError(ComputeError):
+    """Recovery would re-execute a task declared non-idempotent."""
+
+
+class WorkerExhaustedError(ComputeError):
+    """Every worker is down and no replacement can be provisioned."""
+
+
 class RateLimitError(HealthCloudError):
     """The caller exceeded its request rate limit."""
 
@@ -131,6 +151,9 @@ HTTP_STATUS_BY_ERROR: Dict[type, int] = {
     MalwareDetectedError: 422,
     AnonymizationError: 422,
     RateLimitError: 429,
+    TaskCancelledError: 409,
+    ComputeError: 500,
+    WorkerExhaustedError: 503,
     ConfigurationError: 500,
     IntegrityError: 500,
     ServiceUnavailableError: 503,

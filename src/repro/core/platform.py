@@ -145,13 +145,17 @@ class HealthCloudPlatform:
 
     # -- API surface (Section II-B "API and API management") --------------------
 
-    def build_api_gateway(self, rate_limit: int = 1000):
+    def build_api_gateway(self, rate_limit: int = 1000, compute=None):
         """Expose the platform's standard capabilities behind the gateway.
 
         Routes require a tenant-scoped permission on their resource type:
         ``platform-status`` (read), ``reports`` (read), ``billing`` (read).
         Handlers receive the request's
         :class:`~repro.core.api.RequestContext` plus its parameters.
+
+        Pass a :class:`~repro.compute.ComputeApi` as ``compute`` to also
+        expose the versioned ``/v1/compute`` job routes (submit/status/
+        result/cancel, guarded by WRITE/READ on ``compute-jobs``).
         """
         from ..rbac.model import Action, ScopeKind
         from .api import ApiGateway, RouteSpec
@@ -188,6 +192,8 @@ class HealthCloudPlatform:
             action=Action.READ, resource_type="billing",
             scope_kind=ScopeKind.TENANT,
             description="current-period invoice"))
+        if compute is not None:
+            compute.register_routes(gateway)
         return gateway
 
     # -- compliance wiring -----------------------------------------------------------

@@ -1,0 +1,76 @@
+"""Integration: AnalysisWorkspace on the compute layer + hashing unification."""
+
+import pytest
+
+from repro.analytics import AnalysisWorkspace
+from repro.cloudsim.clock import SimClock
+from repro.cloudsim.monitoring import MonitoringService
+from repro.compute import JobState, standard_scheduler
+from repro.core.errors import TaskFailedError
+
+
+def build_workspace():
+    ws = AnalysisWorkspace("study")
+    ws.add_cell("base", lambda ns: list(range(50)))
+    ws.add_cell("squares", lambda ns: [x * x for x in ns["base"]])
+    ws.add_cell("total", lambda ns: sum(ns["squares"]))
+    return ws
+
+
+class TestHashingUnification:
+    def test_long_output_hashes_identically_in_run_all_and_run_cell(self):
+        # Regression: a cell output whose repr exceeds the 200-char
+        # display cut must hash the same through both execution paths,
+        # or the reproducibility check compares unlike things.
+        ws = AnalysisWorkspace("long")
+        ws.add_cell("wide", lambda ns: list(range(500)))
+        via_run_all = ws.run_all()[0]
+        via_run_cell = ws.run_cell(0)
+        assert len(repr(list(range(500)))) > 200
+        assert len(via_run_all.output_repr) == 200
+        assert via_run_all.output_repr == via_run_cell.output_repr
+        assert via_run_all.output_hash == via_run_cell.output_hash
+
+    def test_reproducibility_check_with_long_outputs(self):
+        ws = AnalysisWorkspace("long")
+        ws.add_cell("wide", lambda ns: list(range(500)))
+        assert ws.reproducibility_check()
+
+
+class TestScheduledRunAll:
+    def make_scheduler(self):
+        clock = SimClock()
+        return standard_scheduler(clock=clock,
+                                  monitoring=MonitoringService(clock))
+
+    def test_scheduled_run_matches_inline_run(self):
+        inline = build_workspace().run_all()
+        scheduler = self.make_scheduler()
+        scheduled = build_workspace().run_all(scheduler=scheduler)
+        assert [e.name for e in scheduled] == [e.name for e in inline]
+        assert [e.output_hash for e in scheduled] == \
+            [e.output_hash for e in inline]
+        job = next(iter(scheduler.jobs.values()))
+        assert job.state is JobState.SUCCEEDED
+        assert job.graph.name == "workspace:study"
+        assert len(job.placements) == 3
+
+    def test_scheduled_cells_preserve_order_and_namespace(self):
+        scheduler = self.make_scheduler()
+        ws = build_workspace()
+        executions = ws.run_all(scheduler=scheduler)
+        assert [e.cell_index for e in executions] == [0, 1, 2]
+        assert ws.namespace["total"] == sum(x * x for x in range(50))
+
+    def test_scheduled_cell_failure_raises_typed_error(self):
+        scheduler = self.make_scheduler()
+        ws = AnalysisWorkspace("bad")
+        ws.add_cell("ok", lambda ns: 1)
+        ws.add_cell("boom", lambda ns: 1 / 0)
+        with pytest.raises(TaskFailedError, match="cell-001"):
+            ws.run_all(scheduler=scheduler)
+
+    def test_empty_workspace_scheduled(self):
+        scheduler = self.make_scheduler()
+        assert AnalysisWorkspace("empty").run_all(
+            scheduler=scheduler) == []

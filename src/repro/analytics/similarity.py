@@ -77,7 +77,44 @@ def _pairwise(items: Sequence, fn) -> np.ndarray:
     return matrix
 
 
-class DrugSimilarityBuilder:
+class _CachedSourceMixin:
+    """Build-once caching shared by the two similarity builders.
+
+    Every matrix accessor used to re-run the full ``_pairwise`` pass on
+    each call — an O(n²) bill for what is usually the same answer.  Now
+    each source is built once and cached until :meth:`invalidate` is
+    called; ``build_counts`` records how many real builds each source has
+    paid, so tests can assert exactly one build per dirty epoch.  The
+    incremental streaming layer (:mod:`repro.streaming.incremental`)
+    maintains the matrices itself and installs its O(n)-updated copies
+    via :meth:`prime`, which fills the cache *without* counting a build.
+    """
+
+    def _init_cache(self) -> None:
+        self._cache: Dict[str, np.ndarray] = {}
+        self.build_counts: Dict[str, int] = {}
+
+    def _built(self, source: str, build) -> np.ndarray:
+        cached = self._cache.get(source)
+        if cached is None:
+            self.build_counts[source] = self.build_counts.get(source, 0) + 1
+            cached = build()
+            self._cache[source] = cached
+        return cached
+
+    def invalidate(self, source: Optional[str] = None) -> None:
+        """Drop the cached matrix for ``source`` (or all of them)."""
+        if source is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(source, None)
+
+    def prime(self, source: str, matrix: np.ndarray) -> None:
+        """Install an externally maintained matrix as the cached result."""
+        self._cache[source] = matrix
+
+
+class DrugSimilarityBuilder(_CachedSourceMixin):
     """Builds the three drug similarity matrices the paper uses."""
 
     def __init__(self, universe: BioUniverse,
@@ -85,24 +122,47 @@ class DrugSimilarityBuilder:
                  drugbank: Optional[DrugBankLike] = None,
                  sider: Optional[SiderLike] = None) -> None:
         self._universe = universe
-        self._pubchem = pubchem if pubchem is not None else PubChemLike(universe)
-        self._drugbank = drugbank if drugbank is not None else DrugBankLike(universe)
-        self._sider = sider if sider is not None else SiderLike(universe)
+        self.pubchem = pubchem if pubchem is not None else PubChemLike(universe)
+        self.drugbank = drugbank if drugbank is not None else DrugBankLike(universe)
+        self.sider = sider if sider is not None else SiderLike(universe)
         self._drug_ids = [d.drug_id for d in universe.drugs]
+        self._init_cache()
+
+    @property
+    def drug_ids(self) -> List[str]:
+        """Row/column order of every drug matrix (shared, do not mutate)."""
+        return self._drug_ids
+
+    def add_drug_id(self, drug_id: str) -> int:
+        """Register a newly streamed-in drug; returns its matrix index."""
+        if drug_id in self._drug_ids:
+            raise ValueError(f"drug {drug_id} already registered")
+        self._drug_ids.append(drug_id)
+        self.invalidate()
+        return len(self._drug_ids) - 1
 
     def chemical(self) -> np.ndarray:
         """Tanimoto over PubChem fingerprints."""
-        prints = [self._pubchem.fingerprint(d) for d in self._drug_ids]
+        return self._built("chemical", self._build_chemical)
+
+    def _build_chemical(self) -> np.ndarray:
+        prints = [self.pubchem.fingerprint(d) for d in self._drug_ids]
         return _pairwise(prints, tanimoto)
 
     def target(self) -> np.ndarray:
         """Jaccard over DrugBank target sets."""
-        targets = [self._drugbank.targets(d) for d in self._drug_ids]
+        return self._built("target", self._build_target)
+
+    def _build_target(self) -> np.ndarray:
+        targets = [self.drugbank.targets(d) for d in self._drug_ids]
         return _pairwise(targets, jaccard)
 
     def side_effect(self) -> np.ndarray:
         """Jaccard over SIDER side-effect sets."""
-        effects = [self._sider.side_effects(d) for d in self._drug_ids]
+        return self._built("side_effect", self._build_side_effect)
+
+    def _build_side_effect(self) -> np.ndarray:
+        effects = [self.sider.side_effects(d) for d in self._drug_ids]
         return _pairwise(effects, jaccard)
 
     def all_sources(self) -> Dict[str, np.ndarray]:
@@ -110,14 +170,28 @@ class DrugSimilarityBuilder:
                 "side_effect": self.side_effect()}
 
 
-class DiseaseSimilarityBuilder:
+class DiseaseSimilarityBuilder(_CachedSourceMixin):
     """Builds the three disease similarity matrices the paper uses."""
 
     def __init__(self, universe: BioUniverse,
                  disgenet: Optional[DisGeNetLike] = None) -> None:
         self._universe = universe
-        self._disgenet = disgenet if disgenet is not None else DisGeNetLike(universe)
+        self.disgenet = disgenet if disgenet is not None else DisGeNetLike(universe)
         self._disease_ids = [d.disease_id for d in universe.diseases]
+        self._init_cache()
+
+    @property
+    def disease_ids(self) -> List[str]:
+        """Row/column order of every disease matrix (shared, do not mutate)."""
+        return self._disease_ids
+
+    def add_disease_id(self, disease_id: str) -> int:
+        """Register a newly streamed-in disease; returns its matrix index."""
+        if disease_id in self._disease_ids:
+            raise ValueError(f"disease {disease_id} already registered")
+        self._disease_ids.append(disease_id)
+        self.invalidate()
+        return len(self._disease_ids) - 1
 
     def phenotype(self) -> np.ndarray:
         """Gaussian similarity over phenotype profiles.
@@ -125,30 +199,51 @@ class DiseaseSimilarityBuilder:
         Uses an adaptive bandwidth (median pairwise distance) so the kernel
         is well-spread regardless of the profiles' scale.
         """
-        profiles = np.stack([self._disgenet.phenotype(d)
+        return self._built("phenotype", self._build_phenotype)
+
+    def _build_phenotype(self) -> np.ndarray:
+        profiles = np.stack([self.disgenet.phenotype(d)
                              for d in self._disease_ids])
         squared = ((profiles[:, None, :] - profiles[None, :, :]) ** 2).sum(-1)
         distances = np.sqrt(squared)
-        off_diagonal = distances[~np.eye(len(profiles), dtype=bool)]
-        bandwidth = float(np.median(off_diagonal)) or 1.0
-        similarity = np.exp(-((distances / bandwidth) ** 2))
-        np.fill_diagonal(similarity, 1.0)
-        return similarity
+        return phenotype_kernel(distances)
 
     def ontology(self) -> np.ndarray:
         """Shared-prefix similarity over ontology paths."""
-        paths = [self._disgenet.ontology_path(d) for d in self._disease_ids]
+        return self._built("ontology", self._build_ontology)
+
+    def _build_ontology(self) -> np.ndarray:
+        paths = [self.disgenet.ontology_path(d) for d in self._disease_ids]
         return _pairwise(paths, ontology_path_similarity)
 
     def disease_gene(self) -> np.ndarray:
         """Jaccard over DisGeNet gene sets."""
-        genes = [self._disgenet.genes_for_disease(d)
+        return self._built("disease_gene", self._build_disease_gene)
+
+    def _build_disease_gene(self) -> np.ndarray:
+        genes = [self.disgenet.genes_for_disease(d)
                  for d in self._disease_ids]
         return _pairwise(genes, jaccard)
 
     def all_sources(self) -> Dict[str, np.ndarray]:
         return {"phenotype": self.phenotype(), "ontology": self.ontology(),
                 "disease_gene": self.disease_gene()}
+
+
+def phenotype_kernel(distances: np.ndarray) -> np.ndarray:
+    """Adaptive-bandwidth Gaussian kernel over a distance matrix.
+
+    Shared by the batch builder and the incremental engine so a row-wise
+    distance update reproduces the batch result exactly: bandwidth is the
+    median off-diagonal distance, recomputed from whatever distance matrix
+    the caller maintains.
+    """
+    n = distances.shape[0]
+    off_diagonal = distances[~np.eye(n, dtype=bool)]
+    bandwidth = (float(np.median(off_diagonal)) or 1.0) if n > 1 else 1.0
+    similarity = np.exp(-((distances / bandwidth) ** 2))
+    np.fill_diagonal(similarity, 1.0)
+    return similarity
 
 
 def similarity_quality(similarity: np.ndarray,

@@ -164,7 +164,14 @@ class EventBus:
         for subscription in self._subscriptions.values():
             if not subscription.wants(event):
                 continue
-            if not subscription._offer(event):
+            if subscription._offer(event):
+                # Mirror clean deliveries too, so every subscriber has a
+                # good/bad counter pair the healthplane can turn into a
+                # drop-rate SLO (see HealthPlane.register_subscriber_slo).
+                if self.monitoring is not None:
+                    self.monitoring.metrics.incr(
+                        f"healthplane.events.delivered.{subscription.name}")
+            else:
                 self.dropped += 1
                 if self.monitoring is not None:
                     self.monitoring.metrics.incr(

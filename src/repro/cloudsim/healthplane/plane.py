@@ -157,6 +157,23 @@ class HealthPlane:
             name=name, good_series=API_GOOD_SERIES,
             bad_series=API_BAD_SERIES, target=target))
 
+    def register_subscriber_slo(self, subscriber: str,
+                                target: float = 0.99) -> SloObjective:
+        """Drop-rate objective for one event-bus subscriber.
+
+        The bus mirrors every clean delivery and every overflow drop to
+        ``healthplane.events.delivered.<name>`` /
+        ``healthplane.events.dropped.<name>`` counters; binding them as
+        an SLO means a saturated slow subscriber pages instead of
+        silently losing history.
+        """
+        from .slo import FAST_PAGE
+        return self.slos.register(SloObjective(
+            name=f"events-{subscriber}",
+            good_series=f"healthplane.events.delivered.{subscriber}",
+            bad_series=f"healthplane.events.dropped.{subscriber}",
+            target=target, rules=(FAST_PAGE,)))
+
     def evaluate(self) -> List[Alert]:
         """Run one SLO evaluation pass; returns newly fired alerts."""
         return self.slos.evaluate()

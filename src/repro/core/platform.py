@@ -145,7 +145,8 @@ class HealthCloudPlatform:
 
     # -- API surface (Section II-B "API and API management") --------------------
 
-    def build_api_gateway(self, rate_limit: int = 1000, compute=None):
+    def build_api_gateway(self, rate_limit: int = 1000, compute=None,
+                          subscriptions=None):
         """Expose the platform's standard capabilities behind the gateway.
 
         Routes require a tenant-scoped permission on their resource type:
@@ -155,7 +156,10 @@ class HealthCloudPlatform:
 
         Pass a :class:`~repro.compute.ComputeApi` as ``compute`` to also
         expose the versioned ``/v1/compute`` job routes (submit/status/
-        result/cancel, guarded by WRITE/READ on ``compute-jobs``).
+        result/cancel, guarded by WRITE/READ on ``compute-jobs``), and a
+        :class:`~repro.streaming.SubscriptionApi` as ``subscriptions``
+        for the ``/v1/subscriptions`` push-subscription surface
+        (register/list/poll/cancel on ``subscriptions``).
         """
         from ..rbac.model import Action, ScopeKind
         from .api import ApiGateway, RouteSpec
@@ -194,6 +198,8 @@ class HealthCloudPlatform:
             description="current-period invoice"))
         if compute is not None:
             compute.register_routes(gateway)
+        if subscriptions is not None:
+            subscriptions.register_routes(gateway)
         return gateway
 
     # -- compliance wiring -----------------------------------------------------------

@@ -53,6 +53,10 @@ class PubChemLike:
         """Bulk lookup: one call for a whole id list."""
         return _bulk(self._fingerprints, drug_ids, "fingerprint")
 
+    def set_fingerprint(self, drug_id: str, fingerprint: np.ndarray) -> None:
+        """Upsert a fingerprint (streaming drug.update / new-drug events)."""
+        self._fingerprints[drug_id] = np.asarray(fingerprint)
+
     def drug_ids(self) -> List[str]:
         return sorted(self._fingerprints)
 
@@ -75,6 +79,15 @@ class DrugBankLike:
     def targets_many(self, drug_ids: Sequence[str]) -> Dict[str, Set[str]]:
         """Bulk lookup: one call for a whole id list."""
         return _bulk(self._targets, drug_ids, "targets", copy=set)
+
+    def set_targets(self, drug_id: str, targets: Set[str],
+                    therapeutic_class: Optional[str] = None) -> None:
+        """Upsert a drug's target set (streaming drug.update events)."""
+        self._targets[drug_id] = set(targets)
+        if therapeutic_class is not None:
+            self._classes[drug_id] = therapeutic_class
+        elif drug_id not in self._classes:
+            self._classes[drug_id] = "unclassified"
 
     def therapeutic_class(self, drug_id: str) -> str:
         try:
@@ -106,6 +119,10 @@ class SiderLike:
                           ) -> Dict[str, Set[str]]:
         """Bulk lookup: one call for a whole id list."""
         return _bulk(self._side_effects, drug_ids, "side effects", copy=set)
+
+    def set_side_effects(self, drug_id: str, side_effects: Set[str]) -> None:
+        """Upsert a drug's side-effect set (streaming drug.update events)."""
+        self._side_effects[drug_id] = set(side_effects)
 
 
 class DisGeNetLike:
@@ -151,6 +168,27 @@ class DisGeNetLike:
             return self._ontology[disease_id]
         except KeyError:
             raise NotFoundError(f"unknown disease {disease_id}") from None
+
+    def set_genes(self, disease_id: str, genes: Set[str]) -> None:
+        """Upsert a disease's gene set, keeping the reverse index honest."""
+        for gene in self._genes_of.get(disease_id, set()):
+            diseases = self._diseases_of.get(gene)
+            if diseases is not None:
+                diseases.discard(disease_id)
+                if not diseases:
+                    del self._diseases_of[gene]
+        self._genes_of[disease_id] = set(genes)
+        for gene in genes:
+            self._diseases_of.setdefault(gene, set()).add(disease_id)
+
+    def set_phenotype(self, disease_id: str, phenotype: np.ndarray) -> None:
+        """Upsert a disease's phenotype profile (streaming events)."""
+        self._phenotypes[disease_id] = np.asarray(phenotype, dtype=float)
+
+    def set_ontology_path(self, disease_id: str,
+                          path: Sequence[str]) -> None:
+        """Upsert a disease's ontology path (streaming events)."""
+        self._ontology[disease_id] = tuple(path)
 
 
 class PubMedLite:

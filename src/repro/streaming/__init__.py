@@ -1,0 +1,48 @@
+"""Event-driven streaming ingestion with incremental analytics (PR 9).
+
+The batch platform ingests EMR uploads in rounds and rebuilds analytics
+from scratch on every refresh.  This layer replaces the steady-state hot
+path with an open-loop feed of HL7v2/FHIR-shaped events, bounded
+per-shard queues with explicit backpressure and pluggable load shedding,
+O(delta) incremental recompute for the similarity matrices and HbA1c
+baselines, and FHIR Subscription-style push over the healthplane
+EventBus — all on the shared SimClock, fully deterministic under a seed.
+
+Modules:
+
+* :mod:`.feed` — seeded MMPP burst generator of :class:`StreamEvent`s;
+* :mod:`.queues` — bounded :class:`StreamQueue` + shedding policies;
+* :mod:`.incremental` — Welford baselines, row-wise similarity updates,
+  dirty-set refresh jobs for the compute scheduler;
+* :mod:`.subscriptions` — filter registry + versioned ``/v1/subscriptions``
+  gateway surface pushing matches over the EventBus;
+* :mod:`.pipeline` — the traced, metered, chaos-hardened hot path tying
+  the pieces together in front of :class:`ShardedIngestionFrontend`.
+"""
+
+from .feed import FeedGenerator, StreamEvent
+from .incremental import (IncrementalSimilarityEngine, RunningBaselines,
+                          RunningMoments, StreamingAnalytics)
+from .pipeline import StreamingPipeline
+from .queues import (AdaptiveShedPolicy, DropOldestPolicy, OfferResult,
+                     PriorityShedPolicy, StreamQueue)
+from .subscriptions import (SubscriptionApi, SubscriptionFilter,
+                            SubscriptionRegistry)
+
+__all__ = [
+    "AdaptiveShedPolicy",
+    "DropOldestPolicy",
+    "FeedGenerator",
+    "IncrementalSimilarityEngine",
+    "OfferResult",
+    "PriorityShedPolicy",
+    "RunningBaselines",
+    "RunningMoments",
+    "StreamEvent",
+    "StreamQueue",
+    "StreamingAnalytics",
+    "StreamingPipeline",
+    "SubscriptionApi",
+    "SubscriptionFilter",
+    "SubscriptionRegistry",
+]

@@ -1,0 +1,181 @@
+"""Open-loop clinical event feed (bursty, seeded, HL7v2/FHIR-shaped).
+
+Real EMR traffic is not a steady drip: admission waves, lab-batch
+releases and clinic hours produce bursts an order of magnitude above the
+baseline rate.  The generator models this with a two-state MMPP
+(Markov-modulated Poisson process): exponential dwell times in a *calm*
+and a *burst* state, each with its own exponential interarrival rate.
+Arrival timestamps are absolute simulated seconds, so the pipeline can
+replay the feed open-loop — events arrive when the feed says they do,
+whether or not the platform has kept up.
+
+Every event is a frozen :class:`StreamEvent` whose payload is a plain
+JSON-able dict shaped like the fragment of an HL7v2 ORU / FHIR resource
+the platform actually consumes: lab observations carry an HbA1c value,
+knowledge-base updates carry an explicit mutation spec (fingerprint bit
+flips, target/side-effect set edits, phenotype deltas).  Everything is
+drawn from one seeded ``random.Random``, so a (seed, duration) pair
+always yields the same feed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..knowledge.synthetic import BioUniverse
+
+# Event classes, FHIR-subscription-style dotted topics.  Priorities:
+# higher is more important and survives priority shedding longer.
+EVENT_CLASSES: Tuple[Tuple[str, int], ...] = (
+    ("lab.hba1c", 3),        # Observation (LOINC 4548-4)
+    ("adt.census", 1),       # ADT A01-ish census ping, low value
+    ("drug.update", 2),      # knowledge-base drug profile change
+    ("disease.update", 2),   # knowledge-base disease profile change
+)
+PRIORITY_OF: Dict[str, int] = dict(EVENT_CLASSES)
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One immutable clinical event as it arrives off the wire."""
+
+    event_id: str
+    arrival_s: float            # absolute simulated arrival time
+    patient_id: str             # routing key (shard affinity)
+    tenant_id: str
+    event_class: str            # dotted topic, e.g. "lab.hba1c"
+    priority: int               # higher survives shedding longer
+    payload: Dict = field(default_factory=dict)
+
+    def describe(self) -> Dict:
+        """JSON-able summary (payload elided to its keys)."""
+        return {
+            "event_id": self.event_id,
+            "arrival_s": round(self.arrival_s, 6),
+            "patient_id": self.patient_id,
+            "event_class": self.event_class,
+            "priority": self.priority,
+            "payload_keys": sorted(self.payload),
+        }
+
+
+class FeedGenerator:
+    """Seeded MMPP event source over a fixed patient/entity population.
+
+    ``rate_calm_hz`` / ``rate_burst_hz`` are the Poisson arrival rates in
+    the two modulating states; ``dwell_calm_s`` / ``dwell_burst_s`` the
+    mean exponential dwell times.  ``class_weights`` skews the event-class
+    mix (defaults to labs-heavy, matching an outpatient diabetes cohort).
+    """
+
+    def __init__(self, *, seed: int = 0,
+                 patient_ids: Sequence[str],
+                 drug_ids: Sequence[str] = (),
+                 disease_ids: Sequence[str] = (),
+                 tenant_id: str = "mercy-hospital",
+                 rate_calm_hz: float = 2.0,
+                 rate_burst_hz: float = 12.0,
+                 dwell_calm_s: float = 30.0,
+                 dwell_burst_s: float = 8.0,
+                 class_weights: Optional[Dict[str, float]] = None,
+                 phenotype_dim: int = 12,
+                 fingerprint_bits: int = 128) -> None:
+        if not patient_ids:
+            raise ValueError("feed needs at least one patient id")
+        self._rng = random.Random(seed)
+        self._patients = list(patient_ids)
+        self._drugs = list(drug_ids)
+        self._diseases = list(disease_ids)
+        self._tenant = tenant_id
+        self._rate = {"calm": rate_calm_hz, "burst": rate_burst_hz}
+        self._dwell = {"calm": dwell_calm_s, "burst": dwell_burst_s}
+        weights = dict(class_weights or {
+            "lab.hba1c": 0.55, "adt.census": 0.25,
+            "drug.update": 0.12, "disease.update": 0.08})
+        if not self._drugs:
+            weights.pop("drug.update", None)
+        if not self._diseases:
+            weights.pop("disease.update", None)
+        self._classes = sorted(weights)
+        self._weights = [weights[c] for c in self._classes]
+        self._phenotype_dim = phenotype_dim
+        self._fingerprint_bits = fingerprint_bits
+        self._sequence = 0
+
+    @classmethod
+    def for_universe(cls, universe: BioUniverse, *, seed: int = 0,
+                     n_patients: int = 64, **kwargs) -> "FeedGenerator":
+        """Feed whose KB-update events target a :class:`BioUniverse`."""
+        patients = [f"patient-{i:04d}" for i in range(n_patients)]
+        return cls(seed=seed, patient_ids=patients,
+                   drug_ids=[d.drug_id for d in universe.drugs],
+                   disease_ids=[d.disease_id for d in universe.diseases],
+                   phenotype_dim=int(universe.diseases[0].phenotype.size),
+                   fingerprint_bits=int(universe.drugs[0].fingerprint.size),
+                   **kwargs)
+
+    # -- generation ------------------------------------------------------------
+
+    def events(self, duration_s: float,
+               start_s: float = 0.0) -> Iterator[StreamEvent]:
+        """Yield events with absolute arrival times in [start, start+duration)."""
+        rng = self._rng
+        now = start_s
+        state = "calm"
+        state_until = now + rng.expovariate(1.0 / self._dwell[state])
+        end = start_s + duration_s
+        while True:
+            now += rng.expovariate(self._rate[state])
+            while now >= state_until:
+                state = "burst" if state == "calm" else "calm"
+                state_until += rng.expovariate(1.0 / self._dwell[state])
+            if now >= end:
+                return
+            yield self._make_event(now)
+
+    def generate(self, duration_s: float,
+                 start_s: float = 0.0) -> List[StreamEvent]:
+        return list(self.events(duration_s, start_s))
+
+    # -- event construction ----------------------------------------------------
+
+    def _make_event(self, arrival_s: float) -> StreamEvent:
+        rng = self._rng
+        event_class = rng.choices(self._classes, weights=self._weights)[0]
+        self._sequence += 1
+        event_id = f"evt-{self._sequence:06d}"
+        patient = rng.choice(self._patients)
+        payload = self._payload_for(event_class)
+        return StreamEvent(
+            event_id=event_id, arrival_s=arrival_s, patient_id=patient,
+            tenant_id=self._tenant, event_class=event_class,
+            priority=PRIORITY_OF[event_class], payload=payload)
+
+    def _payload_for(self, event_class: str) -> Dict:
+        rng = self._rng
+        if event_class == "lab.hba1c":
+            # ORU^R01 OBX fragment: LOINC 4548-4, % units.
+            return {"resource": "Observation", "code": "4548-4",
+                    "value": round(rng.gauss(7.1, 1.3), 2), "unit": "%"}
+        if event_class == "adt.census":
+            return {"resource": "Encounter",
+                    "ward": f"ward-{rng.randrange(6):02d}"}
+        if event_class == "drug.update":
+            drug_id = rng.choice(self._drugs)
+            return {"resource": "MedicationKnowledge", "entity_id": drug_id,
+                    "mutation": {
+                        "flip_bits": sorted(rng.sample(
+                            range(self._fingerprint_bits),
+                            rng.randrange(1, 4))),
+                        "add_targets": [f"T{rng.randrange(60):03d}"],
+                        "drop_side_effects": [f"SE{rng.randrange(90):03d}"]}}
+        if event_class == "disease.update":
+            disease_id = rng.choice(self._diseases)
+            delta = [round(rng.gauss(0.0, 0.05), 6)
+                     for _ in range(self._phenotype_dim)]
+            return {"resource": "Condition", "entity_id": disease_id,
+                    "mutation": {"phenotype_delta": delta,
+                                 "add_genes": [f"G{rng.randrange(200):04d}"]}}
+        raise ValueError(f"unknown event class {event_class}")

@@ -87,6 +87,18 @@ class TestSubscriptions:
             "healthplane.events.dropped.slow") == 2
         assert monitoring.metrics.counter("healthplane.events.published") == 3
 
+    def test_clean_deliveries_mirrored_to_metrics(self):
+        clock = SimClock()
+        monitoring = MonitoringService(clock)
+        bus = EventBus(clock, monitoring=monitoring)
+        bus.subscribe("dash", maxlen=8)
+        for _ in range(3):
+            bus.publish("g", "k")
+        assert monitoring.metrics.counter(
+            "healthplane.events.delivered.dash") == 3
+        assert monitoring.metrics.counter(
+            "healthplane.events.dropped.dash") == 0
+
     def test_poll_budget(self):
         bus = EventBus(SimClock())
         sub = bus.subscribe("s")
@@ -145,3 +157,53 @@ class TestIntrospection:
         for _ in range(10):
             bus.publish("g", "k")
         assert clock.now == 0.0
+
+
+class TestSubscriberSlo:
+    """Regression: a saturated slow subscriber must page, not silently
+    lose history."""
+
+    def _plane(self):
+        from repro.cloudsim.healthplane import HealthPlane
+        monitoring = MonitoringService(SimClock())
+        plane = HealthPlane(monitoring)
+        return monitoring.clock, plane
+
+    def _publish(self, clock, plane, *, seconds, period_s=2.0):
+        end = clock.now + seconds
+        while clock.now < end:
+            plane.events.publish("gateway", "api.request")
+            clock.advance(period_s)
+
+    def test_saturated_slow_subscriber_pages(self):
+        clock, plane = self._plane()
+        slow = plane.events.subscribe("slow-dashboard", maxlen=16)
+        plane.register_subscriber_slo("slow-dashboard", target=0.99)
+        # A healthy hour: the dashboard keeps up (polls every event).
+        end = clock.now + 3600
+        while clock.now < end:
+            plane.events.publish("gateway", "api.request")
+            slow.poll()
+            clock.advance(2.0)
+        assert plane.evaluate() == []
+        # The dashboard stalls; its 16-slot queue saturates and every
+        # further publish drops the oldest.  Sustained, both FAST_PAGE
+        # windows burn past 14.4x -> page.
+        self._publish(clock, plane, seconds=1400)
+        fired = plane.evaluate()
+        assert [a.severity for a in fired] == ["page"]
+        assert fired[0].slo == "events-slow-dashboard"
+        assert slow.dropped > 0
+
+    def test_keeping_up_never_pages(self):
+        clock, plane = self._plane()
+        plane.events.subscribe("healthy-dashboard", maxlen=64)
+        plane.register_subscriber_slo("healthy-dashboard")
+        sub = plane.events.subscription("healthy-dashboard")
+        end = clock.now + 4800
+        while clock.now < end:
+            plane.events.publish("gateway", "api.request")
+            sub.poll()
+            clock.advance(2.0)
+        assert plane.evaluate() == []
+        assert sub.dropped == 0

@@ -1,0 +1,98 @@
+"""Tests for the MMPP clinical feed: determinism, shape, burstiness."""
+
+import pytest
+
+from repro.knowledge.synthetic import generate_universe
+from repro.streaming import FeedGenerator
+from repro.streaming.feed import PRIORITY_OF
+
+
+def _feed(seed=0, **kwargs):
+    kwargs.setdefault("patient_ids", [f"p-{i}" for i in range(8)])
+    kwargs.setdefault("drug_ids", ["D1", "D2"])
+    kwargs.setdefault("disease_ids", ["Z1", "Z2"])
+    return FeedGenerator(seed=seed, **kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_feed(self):
+        a = _feed(seed=4).generate(60.0)
+        b = _feed(seed=4).generate(60.0)
+        assert [e.describe() for e in a] == [e.describe() for e in b]
+        assert [e.payload for e in a] == [e.payload for e in b]
+
+    def test_different_seed_differs(self):
+        a = _feed(seed=1).generate(60.0)
+        b = _feed(seed=2).generate(60.0)
+        assert [e.event_id for e in a] != [e.event_id for e in b] or \
+            [e.arrival_s for e in a] != [e.arrival_s for e in b]
+
+
+class TestShape:
+    def test_arrivals_monotonic_and_bounded(self):
+        events = _feed(seed=3).generate(120.0, start_s=10.0)
+        times = [e.arrival_s for e in events]
+        assert times == sorted(times)
+        assert all(10.0 <= t < 130.0 for t in times)
+
+    def test_event_ids_unique_and_sequential(self):
+        events = _feed(seed=3).generate(60.0)
+        ids = [e.event_id for e in events]
+        assert len(set(ids)) == len(ids)
+        assert ids[0] == "evt-000001"
+
+    def test_priorities_match_class_table(self):
+        for event in _feed(seed=5).generate(120.0):
+            assert event.priority == PRIORITY_OF[event.event_class]
+
+    def test_payload_shapes(self):
+        for event in _feed(seed=6).generate(200.0):
+            if event.event_class == "lab.hba1c":
+                assert event.payload["code"] == "4548-4"
+                assert isinstance(event.payload["value"], float)
+            elif event.event_class == "drug.update":
+                mutation = event.payload["mutation"]
+                assert event.payload["entity_id"] in ("D1", "D2")
+                assert all(0 <= b < 128 for b in mutation["flip_bits"])
+            elif event.event_class == "disease.update":
+                assert event.payload["entity_id"] in ("Z1", "Z2")
+                assert len(event.payload["mutation"]["phenotype_delta"]) == 12
+
+    def test_kb_classes_dropped_without_entities(self):
+        feed = FeedGenerator(seed=0, patient_ids=["p"])
+        classes = {e.event_class for e in feed.generate(300.0)}
+        assert "drug.update" not in classes
+        assert "disease.update" not in classes
+
+    def test_rejects_empty_patients(self):
+        with pytest.raises(ValueError):
+            FeedGenerator(seed=0, patient_ids=[])
+
+
+class TestBurstiness:
+    def test_mmpp_is_burstier_than_poisson(self):
+        """Squared CV of interarrivals > 1 marks the modulated process."""
+        events = _feed(seed=9, rate_calm_hz=1.0, rate_burst_hz=30.0,
+                       dwell_calm_s=40.0, dwell_burst_s=10.0).generate(2000.0)
+        gaps = [b.arrival_s - a.arrival_s
+                for a, b in zip(events, events[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        assert var / mean ** 2 > 1.3
+
+
+class TestForUniverse:
+    def test_targets_real_entities(self):
+        universe = generate_universe(n_drugs=10, n_diseases=6, seed=1)
+        feed = FeedGenerator.for_universe(universe, seed=2, n_patients=4)
+        drug_ids = {d.drug_id for d in universe.drugs}
+        disease_ids = {d.disease_id for d in universe.diseases}
+        events = feed.generate(400.0)
+        assert any(e.event_class == "drug.update" for e in events)
+        for event in events:
+            if event.event_class == "drug.update":
+                assert event.payload["entity_id"] in drug_ids
+            elif event.event_class == "disease.update":
+                assert event.payload["entity_id"] in disease_ids
+                assert (len(event.payload["mutation"]["phenotype_delta"])
+                        == universe.diseases[0].phenotype.size)

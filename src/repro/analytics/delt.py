@@ -58,6 +58,74 @@ class PatientSeries:
                 f"patient {self.patient_id}: inconsistent series lengths")
 
 
+def fit_patient_trend(times: np.ndarray, residual: np.ndarray,
+                      use_time_drift: bool = True) -> Tuple[float, float]:
+    """Closed-form OLS for one patient's (alpha_i, c_i) given a residual.
+
+    Module-level so the federated estimator (``repro.federation``) runs
+    the *same* per-patient arithmetic inside each institution that the
+    centralized :class:`DeltModel` runs over the pooled cohort.
+    """
+    if not use_time_drift or times.size < 3:
+        return float(residual.mean()), 0.0
+    centered_time = times - times.mean()
+    denominator = float((centered_time ** 2).sum())
+    if denominator < _EPS:
+        return float(residual.mean()), 0.0
+    drift = float((centered_time * (residual - residual.mean())).sum()
+                  / denominator)
+    alpha = float(residual.mean() - drift * times.mean())
+    return alpha, drift
+
+
+def patient_partials(patient: "PatientSeries", beta: np.ndarray,
+                     use_time_drift: bool = True
+                     ) -> Tuple[np.ndarray, np.ndarray, float, float]:
+    """One patient's contribution to the pooled effects solve.
+
+    Given the current effects ``beta``: fit the patient's trend, then
+    return ``(gram, moment, alpha, drift)`` where ``gram = X^T X`` and
+    ``moment = X^T (y - trend)``.  The pooled solve needs only the *sums*
+    of these over patients, which is what makes DELT federate exactly:
+    each institution sums its own patients' partials locally and only the
+    sums cross the trust boundary.
+    """
+    residual = patient.values - patient.exposures @ beta
+    alpha, drift = fit_patient_trend(patient.times, residual, use_time_drift)
+    trend = alpha + drift * patient.times
+    gram = patient.exposures.T @ patient.exposures
+    moment = patient.exposures.T @ (patient.values - trend)
+    return gram, moment, alpha, drift
+
+
+def patient_loss(patient: "PatientSeries", beta: np.ndarray,
+                 alpha: float, drift: float) -> float:
+    """One patient's squared-error term of the DELT objective."""
+    trend = alpha + drift * patient.times
+    prediction = trend + patient.exposures @ beta
+    return float(((patient.values - prediction) ** 2).sum())
+
+
+def solve_effects(gram: np.ndarray, moment: np.ndarray, ridge: float,
+                  network_weight: float = 0.0,
+                  laplacian: Optional[np.ndarray] = None) -> np.ndarray:
+    """Pooled ridge (+ graph Laplacian) solve for beta from summed partials."""
+    regularizer = ridge * np.eye(gram.shape[0])
+    if laplacian is not None and network_weight > 0:
+        regularizer = regularizer + network_weight * laplacian
+    return np.linalg.solve(gram + regularizer, moment)
+
+
+def effects_penalty(beta: np.ndarray, ridge: float,
+                    network_weight: float = 0.0,
+                    laplacian: Optional[np.ndarray] = None) -> float:
+    """Regularization term of the objective (needs no patient data)."""
+    penalty = ridge * float((beta ** 2).sum())
+    if laplacian is not None and network_weight > 0:
+        penalty += network_weight * float(beta @ laplacian @ beta)
+    return penalty
+
+
 @dataclass
 class DeltResult:
     """Fitted DELT model."""
@@ -116,61 +184,30 @@ class DeltModel:
         history: List[float] = []
         previous = np.inf
         for _ in range(self.max_iterations):
-            # Step 1: per-patient baseline and drift, given beta.
+            # Per-patient trend + partials given beta, summed into the
+            # pooled solve — the same shared functions the federated
+            # estimator distributes across institutions.
+            gram = np.zeros((self.n_drugs, self.n_drugs))
+            moment = np.zeros(self.n_drugs)
             for p in patients:
-                residual = p.values - p.exposures @ beta
-                alpha, drift = self._fit_patient_trend(p.times, residual)
+                g, m, alpha, drift = patient_partials(p, beta,
+                                                      self.use_time_drift)
                 baselines[p.patient_id] = alpha
                 drifts[p.patient_id] = drift
-            # Step 2: pooled drug effects, given baselines.
-            beta = self._fit_effects(patients, baselines, drifts)
-            objective = self._objective(patients, beta, baselines, drifts)
+                gram += g
+                moment += m
+            beta = solve_effects(gram, moment, self.ridge,
+                                 self.network_weight, self._laplacian)
+            objective = sum(
+                patient_loss(p, beta, baselines[p.patient_id],
+                             drifts[p.patient_id]) for p in patients)
+            objective += effects_penalty(beta, self.ridge,
+                                         self.network_weight, self._laplacian)
             history.append(objective)
             if abs(previous - objective) < self.tolerance * max(1.0, previous):
                 break
             previous = objective
         return DeltResult(beta, baselines, drifts, history)
-
-    def _fit_patient_trend(self, times: np.ndarray,
-                           residual: np.ndarray) -> Tuple[float, float]:
-        if not self.use_time_drift or times.size < 3:
-            return float(residual.mean()), 0.0
-        centered_time = times - times.mean()
-        denominator = float((centered_time ** 2).sum())
-        if denominator < _EPS:
-            return float(residual.mean()), 0.0
-        drift = float((centered_time * (residual - residual.mean())).sum()
-                      / denominator)
-        alpha = float(residual.mean() - drift * times.mean())
-        return alpha, drift
-
-    def _fit_effects(self, patients: Sequence[PatientSeries],
-                     baselines: Dict[str, float],
-                     drifts: Dict[str, float]) -> np.ndarray:
-        gram = np.zeros((self.n_drugs, self.n_drugs))
-        moment = np.zeros(self.n_drugs)
-        for p in patients:
-            trend = baselines[p.patient_id] + drifts[p.patient_id] * p.times
-            residual = p.values - trend
-            gram += p.exposures.T @ p.exposures
-            moment += p.exposures.T @ residual
-        regularizer = self.ridge * np.eye(self.n_drugs)
-        if self._laplacian is not None and self.network_weight > 0:
-            regularizer = regularizer + self.network_weight * self._laplacian
-        return np.linalg.solve(gram + regularizer, moment)
-
-    def _objective(self, patients: Sequence[PatientSeries], beta: np.ndarray,
-                   baselines: Dict[str, float],
-                   drifts: Dict[str, float]) -> float:
-        loss = 0.0
-        for p in patients:
-            trend = baselines[p.patient_id] + drifts[p.patient_id] * p.times
-            prediction = trend + p.exposures @ beta
-            loss += float(((p.values - prediction) ** 2).sum())
-        loss += self.ridge * float((beta ** 2).sum())
-        if self._laplacian is not None and self.network_weight > 0:
-            loss += self.network_weight * float(beta @ self._laplacian @ beta)
-        return loss
 
 
 class MarginalSccs:

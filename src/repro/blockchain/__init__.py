@@ -18,6 +18,7 @@ from .chaincode import (
     MalwareContract,
     PrivacyContract,
     ProvenanceContract,
+    StudyContract,
     WorldState,
     provenance_event_leaf,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "MalwareContract",
     "PrivacyContract",
     "ProvenanceContract",
+    "StudyContract",
     "WorldState",
     "MemberIdentity",
     "MembershipServiceProvider",
@@ -106,6 +108,7 @@ def standard_network(seed: int = 0, batch_size: int = 10,
         "consent": ConsentContract(),
         "malware": MalwareContract(),
         "privacy": PrivacyContract(),
+        "study": StudyContract(),
     }
     organizations = ["sender-org", "provider-org", "data-protection-org",
                      "audit-org"]

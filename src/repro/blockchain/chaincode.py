@@ -25,7 +25,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core.errors import LedgerError, ValidationError
+from ..core.errors import LedgerError, StudyError, ValidationError
 from ..crypto.merkle import MerkleTree
 
 
@@ -280,6 +280,161 @@ class PrivacyContract(Chaincode):
 
     def invoke_is_risky_sender(self, state: WorldState, *, sender: str) -> bool:
         return (state.get(f"privacy/sender-failures/{sender}") or 0) >= self.RISK_THRESHOLD
+
+
+class StudyContract(Chaincode):
+    """Federated study lifecycle with M-of-N threshold approval.
+
+    A researcher proposes a study naming the participating institutions
+    and an approval threshold M; institutions approve (or deny) on-ledger;
+    only once M distinct approvals are committed may any institution's
+    upload commitment ``H(ciphertext || key_fingerprint || ts ||
+    institution)`` be recorded.  The threshold is therefore enforced *by
+    the endorsed contract itself*: a commitment transaction submitted
+    before the study is approved fails chaincode simulation, gathers no
+    endorsements, and never lands on the ledger.
+    """
+
+    NAME = "study"
+    STATES = ("proposed", "approved", "denied", "running", "complete")
+
+    @staticmethod
+    def _key(study_id: str) -> str:
+        return f"study/{study_id}"
+
+    @staticmethod
+    def _commit_key(study_id: str, round_tag: str, institution: str) -> str:
+        return f"studycommit/{study_id}/{round_tag}/{institution}"
+
+    def _record(self, state: WorldState, study_id: str) -> Dict[str, Any]:
+        record = state.get(self._key(study_id))
+        if record is None:
+            raise StudyError(f"study {study_id!r} is not on the ledger")
+        return record
+
+    def invoke_propose(self, state: WorldState, *, study_id: str,
+                       researcher: str, analysis: str, group_id: str,
+                       participants: List[str], threshold: int,
+                       proposed_at: float) -> str:
+        """Open a study in the PROPOSED state."""
+        if state.get(self._key(study_id)) is not None:
+            raise StudyError(f"study {study_id!r} already proposed")
+        institutions = sorted(set(participants))
+        if not institutions:
+            raise ValidationError("a study needs at least one institution")
+        if not 1 <= threshold <= len(institutions):
+            raise ValidationError(
+                f"threshold {threshold} outside 1..{len(institutions)}")
+        state.put(self._key(study_id), {
+            "state": "proposed", "researcher": researcher,
+            "analysis": analysis, "group_id": group_id,
+            "participants": institutions, "threshold": int(threshold),
+            "approvals": [], "denials": [], "proposed_at": proposed_at})
+        return "proposed"
+
+    def invoke_approve(self, state: WorldState, *, study_id: str,
+                       institution: str, approved_at: float) -> str:
+        """One institution's approval; flips to APPROVED at M distinct."""
+        record = self._record(state, study_id)
+        if institution not in record["participants"]:
+            raise StudyError(
+                f"{institution!r} is not a participant of {study_id!r}")
+        if record["state"] not in ("proposed", "approved"):
+            raise StudyError(
+                f"study {study_id!r} is {record['state']}; cannot approve")
+        approvals = list(record["approvals"])
+        if all(a["institution"] != institution for a in approvals):
+            approvals.append({"institution": institution, "at": approved_at})
+        new_state = ("approved" if len(approvals) >= record["threshold"]
+                     else record["state"])
+        state.put(self._key(study_id),
+                  {**record, "approvals": approvals, "state": new_state})
+        return new_state
+
+    def invoke_deny(self, state: WorldState, *, study_id: str,
+                    institution: str, denied_at: float) -> str:
+        """One institution's veto; a proposed study becomes DENIED."""
+        record = self._record(state, study_id)
+        if institution not in record["participants"]:
+            raise StudyError(
+                f"{institution!r} is not a participant of {study_id!r}")
+        if record["state"] != "proposed":
+            raise StudyError(
+                f"study {study_id!r} is {record['state']}; cannot deny")
+        denials = list(record["denials"])
+        denials.append({"institution": institution, "at": denied_at})
+        state.put(self._key(study_id),
+                  {**record, "denials": denials, "state": "denied"})
+        return "denied"
+
+    def invoke_start(self, state: WorldState, *, study_id: str,
+                     started_at: float) -> str:
+        """APPROVED -> RUNNING; aggregation rounds may begin."""
+        record = self._record(state, study_id)
+        if record["state"] != "approved":
+            raise StudyError(
+                f"study {study_id!r} is {record['state']}; cannot start")
+        state.put(self._key(study_id),
+                  {**record, "state": "running", "started_at": started_at})
+        return "running"
+
+    def invoke_complete(self, state: WorldState, *, study_id: str,
+                        completed_at: float, result_digest: str) -> str:
+        """RUNNING -> COMPLETE, sealing the result digest on-ledger."""
+        record = self._record(state, study_id)
+        if record["state"] != "running":
+            raise StudyError(
+                f"study {study_id!r} is {record['state']}; cannot complete")
+        state.put(self._key(study_id),
+                  {**record, "state": "complete",
+                   "completed_at": completed_at,
+                   "result_digest": result_digest})
+        return "complete"
+
+    def invoke_record_commitment(self, state: WorldState, *, study_id: str,
+                                 round_tag: str, institution: str,
+                                 commitment: str,
+                                 committed_at: float) -> str:
+        """Record one institution's upload commitment for one round.
+
+        Refused unless the study has gathered its M approvals (state
+        APPROVED or RUNNING) and the institution is a participant — the
+        on-chain half of "no data moves before threshold approval".
+        """
+        record = self._record(state, study_id)
+        if record["state"] not in ("approved", "running"):
+            raise StudyError(
+                f"study {study_id!r} is {record['state']}; upload "
+                f"commitment refused")
+        if len(record["approvals"]) < record["threshold"]:
+            raise StudyError(
+                f"study {study_id!r} has {len(record['approvals'])} of "
+                f"{record['threshold']} approvals; upload commitment refused")
+        if institution not in record["participants"]:
+            raise StudyError(
+                f"{institution!r} is not a participant of {study_id!r}")
+        key = self._commit_key(study_id, round_tag, institution)
+        existing = state.get(key)
+        if existing is not None:
+            if existing["commitment"] != commitment:
+                raise LedgerError(
+                    f"conflicting commitment for {key}")
+            return key
+        state.put(key, {"commitment": commitment, "at": committed_at})
+        return key
+
+    def invoke_status(self, state: WorldState, *,
+                      study_id: str) -> Optional[Dict[str, Any]]:
+        """The full on-ledger study record (or None)."""
+        record = state.get(self._key(study_id))
+        return dict(record) if record is not None else None
+
+    def invoke_commitments(self, state: WorldState, *,
+                           study_id: str) -> Dict[str, Dict[str, Any]]:
+        """All recorded upload commitments for a study, keyed by ledger key."""
+        prefix = f"studycommit/{study_id}/"
+        return {key: dict(state.get(key))
+                for key in state.keys_with_prefix(prefix)}
 
 
 class _PrepareScratchState:

@@ -45,6 +45,7 @@ from .chaincode import (
     MalwareContract,
     PrivacyContract,
     ProvenanceContract,
+    StudyContract,
 )
 from .identity import MembershipServiceProvider
 from .network import BlockchainNetwork, EndorsementPolicy, Peer
@@ -189,6 +190,7 @@ def sharded_channel(shard: int, seed: Optional[int] = 0,
         "consent": ConsentContract(),
         "malware": MalwareContract(),
         "privacy": PrivacyContract(),
+        "study": StudyContract(),
     }
     contracts["xshard"] = CrossShardContract(delegates=contracts)
     organizations = ["sender-org", "provider-org", "data-protection-org",

@@ -131,6 +131,10 @@ class WorkerExhaustedError(ComputeError):
     """Every worker is down and no replacement can be provisioned."""
 
 
+class StudyError(HealthCloudError):
+    """A federated study operation violated its lifecycle or approval policy."""
+
+
 class RateLimitError(HealthCloudError):
     """The caller exceeded its request rate limit."""
 
@@ -151,6 +155,7 @@ HTTP_STATUS_BY_ERROR: Dict[type, int] = {
     MalwareDetectedError: 422,
     AnonymizationError: 422,
     RateLimitError: 429,
+    StudyError: 409,
     TaskCancelledError: 409,
     ComputeError: 500,
     WorkerExhaustedError: 503,

@@ -146,7 +146,7 @@ class HealthCloudPlatform:
     # -- API surface (Section II-B "API and API management") --------------------
 
     def build_api_gateway(self, rate_limit: int = 1000, compute=None,
-                          subscriptions=None):
+                          subscriptions=None, studies=None):
         """Expose the platform's standard capabilities behind the gateway.
 
         Routes require a tenant-scoped permission on their resource type:
@@ -159,7 +159,10 @@ class HealthCloudPlatform:
         result/cancel, guarded by WRITE/READ on ``compute-jobs``), and a
         :class:`~repro.streaming.SubscriptionApi` as ``subscriptions``
         for the ``/v1/subscriptions`` push-subscription surface
-        (register/list/poll/cancel on ``subscriptions``).
+        (register/list/poll/cancel on ``subscriptions``), and a
+        :class:`~repro.federation.StudiesApi` as ``studies`` for the
+        ``/v1/studies`` federated-study lifecycle (propose/approve/deny/
+        run/status/result on ``studies``).
         """
         from ..rbac.model import Action, ScopeKind
         from .api import ApiGateway, RouteSpec
@@ -200,6 +203,8 @@ class HealthCloudPlatform:
             compute.register_routes(gateway)
         if subscriptions is not None:
             subscriptions.register_routes(gateway)
+        if studies is not None:
+            studies.register_routes(gateway)
         return gateway
 
     # -- compliance wiring -----------------------------------------------------------

@@ -61,6 +61,10 @@ def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
 
 
 def _xor(data: bytes, stream: bytes) -> bytes:
+    if len(data) != len(stream):
+        raise IntegrityError(
+            f"keystream length {len(stream)} does not match "
+            f"data length {len(data)}")
     return bytes(a ^ b for a, b in zip(data, stream))
 
 

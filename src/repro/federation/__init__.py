@@ -1,0 +1,77 @@
+"""Federated multi-institution analytics (ROADMAP item 3).
+
+N institutions each hold a private EMR partition; a researcher proposes a
+study, M-of-N institutions approve on-ledger, and only then do
+secure-aggregation rounds move pairwise-masked partial statistics to the
+coordinator — raw patient rows never leave an institution.  Federated
+JMF and DELT match their centralized counterparts to well inside rtol
+1e-2, and the whole lifecycle is exposed at ``/v1/studies``.
+"""
+
+from .institution import (
+    COORDINATOR,
+    EgressRecord,
+    Institution,
+    MaskedUpload,
+)
+from .secure import (
+    MODULUS,
+    SCALE,
+    SCALE_BITS,
+    bytes_to_words,
+    combine_masked,
+    decode_vector,
+    encode_vector,
+    mask_vector,
+    mask_words,
+    pair_secret,
+    words_to_bytes,
+)
+from .study import (
+    ANALYSES,
+    COORDINATOR_ID,
+    DeltStudyConfig,
+    FederatedStudyService,
+    JmfStudyConfig,
+    result_digest,
+)
+from .analytics import federated_delt, federated_jmf
+from .api import StudiesApi, StudyProposalRequest
+from .cohorts import (
+    build_institutions,
+    consented_union,
+    partition_patients,
+    synthesize_evidence,
+)
+
+__all__ = [
+    "COORDINATOR",
+    "COORDINATOR_ID",
+    "ANALYSES",
+    "EgressRecord",
+    "Institution",
+    "MaskedUpload",
+    "MODULUS",
+    "SCALE",
+    "SCALE_BITS",
+    "bytes_to_words",
+    "combine_masked",
+    "decode_vector",
+    "encode_vector",
+    "mask_vector",
+    "mask_words",
+    "pair_secret",
+    "words_to_bytes",
+    "DeltStudyConfig",
+    "FederatedStudyService",
+    "JmfStudyConfig",
+    "result_digest",
+    "federated_delt",
+    "federated_jmf",
+    "StudiesApi",
+    "StudyProposalRequest",
+    "build_institutions",
+    "consented_union",
+    "partition_patients",
+    "synthesize_evidence",
+]

@@ -73,11 +73,18 @@ class ConsentManagementService:
         return record
 
     def revoke(self, consent_id: str) -> None:
-        """Withdraw a consent (GDPR Article 7(3))."""
+        """Withdraw a consent (GDPR Article 7(3)).
+
+        Idempotent: revoking an already-revoked consent keeps the earliest
+        revocation timestamp rather than silently moving it later.
+        """
         record = self._records.get(consent_id)
         if record is None:
             raise ConsentError(f"consent {consent_id} not found")
-        record.revoked_at = self.clock.now
+        if record.revoked_at is None:
+            record.revoked_at = self.clock.now
+        else:
+            record.revoked_at = min(record.revoked_at, self.clock.now)
 
     def revoke_all_for_patient(self, patient_id: str) -> int:
         """Withdraw every consent a patient has given; returns the count."""

@@ -45,8 +45,15 @@ class AnonymizedRelease:
         return min(self.class_sizes) if self.class_sizes else 0
 
 
+def _require(row: Row, column: str) -> Any:
+    """Fetch a named column, raising a typed error when it is absent."""
+    if column not in row:
+        raise AnonymizationError(f"row is missing required column {column!r}")
+    return row[column]
+
+
 def _class_key(row: Row, qi_names: Sequence[str]) -> Tuple:
-    return tuple(str(row[q]) for q in qi_names)
+    return tuple(str(_require(row, q)) for q in qi_names)
 
 
 def equivalence_classes(rows: Sequence[Row],
@@ -68,7 +75,7 @@ def l_diversity(rows: Sequence[Row], qi_names: Sequence[str],
                 sensitive: str) -> int:
     """Minimum number of distinct sensitive values in any class."""
     classes = equivalence_classes(rows, qi_names)
-    return min((len({str(r.get(sensitive)) for r in v})
+    return min((len({str(_require(r, sensitive)) for r in v})
                 for v in classes.values()), default=0)
 
 
@@ -125,7 +132,7 @@ class MondrianAnonymizer:
         # Choose the QI with the widest normalized range/most categories.
         best: Optional[Tuple[float, QuasiIdentifier]] = None
         for qi in self._qis:
-            values = [r[qi.name] for r in rows]
+            values = [_require(r, qi.name) for r in rows]
             if qi.numeric:
                 spread = float(max(values) - min(values))
             else:
@@ -148,7 +155,7 @@ class MondrianAnonymizer:
         """Replace each QI value with the partition's range/set label."""
         labels: Dict[str, str] = {}
         for qi in self._qis:
-            values = [r[qi.name] for r in partition]
+            values = [_require(r, qi.name) for r in partition]
             if qi.numeric:
                 low, high = min(values), max(values)
                 labels[qi.name] = (str(low) if low == high
@@ -166,11 +173,21 @@ class MondrianAnonymizer:
 
 
 def generalize_zip(zip_code: str, level: int) -> str:
-    """Standard ZIP generalization ladder: 5 digits -> 3 digits -> none."""
+    """Standard ZIP generalization ladder: 5 digits -> 3 digits -> none.
+
+    The input must be a well-formed 5-digit US ZIP (surrounding whitespace
+    is tolerated).  Anything else raises :class:`AnonymizationError`: a
+    short code like ``"123"`` would otherwise produce the mask ``"123**"``,
+    which reveals every digit of the original value.
+    """
+    normalized = str(zip_code).strip()
+    if len(normalized) != 5 or not normalized.isdigit():
+        raise AnonymizationError(
+            f"ZIP code {zip_code!r} is not a 5-digit code")
     if level <= 0:
-        return zip_code
+        return normalized
     if level == 1:
-        return zip_code[:3] + "**"
+        return normalized[:3] + "**"
     return "*****"
 
 

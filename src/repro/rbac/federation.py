@@ -86,7 +86,8 @@ class FederatedIdentityService:
         """Validate a token and return the mapped platform user.
 
         Raises :class:`AuthenticationError` for unapproved issuers, bad
-        signatures, expired tokens, or unlinked subjects.
+        signatures, tokens outside their validity window (expired, not yet
+        valid, or ``iat > exp``), or unlinked subjects.
         """
         secret = self._approved_idps.get(token.issuer)
         if secret is None:
@@ -94,6 +95,11 @@ class FederatedIdentityService:
         expected = hmac.new(secret, token.payload(), hashlib.sha256).digest()
         if not hmac.compare_digest(expected, token.signature):
             raise AuthenticationError("token signature invalid")
+        if token.issued_at > token.expires_at:
+            raise AuthenticationError(
+                "token validity window is ill-formed (iat > exp)")
+        if self.clock.now < token.issued_at:
+            raise AuthenticationError("token not yet valid")
         if self.clock.now >= token.expires_at:
             raise AuthenticationError("token expired")
         user_id = self._subject_map.get(f"{token.issuer}/{token.subject}")

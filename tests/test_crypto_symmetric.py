@@ -104,3 +104,19 @@ class TestHmac:
         tag = compute_hmac(key, b"graph data")
         assert not verify_hmac(key, b"graph datum", tag)
         assert not verify_hmac(generate_key(5), b"graph data", tag)
+
+
+class TestKeystreamAlignment:
+    def test_xor_length_mismatch_raises(self):
+        # A short keystream used to silently truncate the data via zip();
+        # that corrupts ciphertexts undetectably, so it must be an error.
+        from repro.crypto.symmetric import _xor
+        with pytest.raises(IntegrityError, match="keystream length"):
+            _xor(b"twelve bytes", b"short")
+        with pytest.raises(IntegrityError, match="keystream length"):
+            _xor(b"short", b"a much longer keystream")
+
+    def test_xor_equal_lengths_round_trips(self):
+        from repro.crypto.symmetric import _xor
+        data, stream = b"payload-bytes", b"keystream-byt"
+        assert _xor(_xor(data, stream), stream) == data

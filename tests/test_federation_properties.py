@@ -1,0 +1,165 @@
+"""Property-based tests for federation invariants (hypothesis).
+
+Two families: (1) secure aggregation is *exact* for any partition — the
+masked sum the coordinator sees equals the centralized sum over the
+pooled data; (2) the threshold-approval invariant — no upload commitment
+lands on the ledger before M distinct participant approvals, for any
+(N, M) and any approval order.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.blockchain.chaincode import StudyContract, WorldState
+from repro.core.errors import StudyError
+from repro.crypto.symmetric import generate_key
+from repro.federation import (
+    SCALE,
+    combine_masked,
+    mask_vector,
+    pair_secret,
+)
+
+_NO_DEADLINE = settings(deadline=None, max_examples=40,
+                        suppress_health_check=[HealthCheck.too_slow])
+
+
+def masked_sum(values_by_name, round_tag="r0", context="study-p"):
+    names = sorted(values_by_name)
+    keys = {name: generate_key(i * 11 + 3) for i, name in enumerate(names)}
+    masked = {}
+    for name in names:
+        secrets = {peer: pair_secret(keys[name], keys[peer], context)
+                   for peer in names if peer != name}
+        masked[name] = mask_vector(values_by_name[name], name, secrets,
+                                   round_tag)
+    return combine_masked(masked)
+
+
+class TestAggregationMatchesCentralized:
+    @given(n_institutions=st.integers(1, 5),
+           length=st.integers(1, 24),
+           seed=st.integers(0, 10_000))
+    @_NO_DEADLINE
+    def test_integer_partition_sums_exact(self, n_institutions, length,
+                                          seed):
+        """Any partition of integer counts aggregates to the pooled sum."""
+        rng = np.random.default_rng(seed)
+        values = {f"inst-{i:02d}": rng.integers(0, 100,
+                                                size=length).astype(float)
+                  for i in range(n_institutions)}
+        pooled = np.sum(list(values.values()), axis=0)
+        np.testing.assert_array_equal(masked_sum(values), pooled)
+
+    @given(n_institutions=st.integers(2, 5),
+           length=st.integers(1, 24),
+           seed=st.integers(0, 10_000))
+    @_NO_DEADLINE
+    def test_float_partition_sums_within_quantization(self, n_institutions,
+                                                      length, seed):
+        rng = np.random.default_rng(seed)
+        values = {f"inst-{i:02d}": rng.normal(scale=50.0, size=length)
+                  for i in range(n_institutions)}
+        pooled = np.sum(list(values.values()), axis=0)
+        np.testing.assert_allclose(masked_sum(values), pooled,
+                                   atol=n_institutions * 1.0 / SCALE)
+
+    @given(split_at=st.integers(0, 30), seed=st.integers(0, 1000))
+    @_NO_DEADLINE
+    def test_partition_boundary_is_irrelevant(self, split_at, seed):
+        """Moving rows between institutions never changes the aggregate."""
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, 10, size=(30, 8)).astype(float)
+        one_way = {"inst-00": rows[:split_at].sum(axis=0),
+                   "inst-01": rows[split_at:].sum(axis=0)}
+        other = {"inst-00": rows[:15].sum(axis=0),
+                 "inst-01": rows[15:].sum(axis=0)}
+        np.testing.assert_array_equal(masked_sum(one_way),
+                                      masked_sum(other))
+
+
+def study_fixture(n, threshold):
+    """A StudyContract over a bare world state, study proposed."""
+    contract = StudyContract()
+    state = WorldState()
+    participants = [f"inst-{i:02d}" for i in range(n)]
+    contract.invoke_propose(
+        state, study_id="study-000001", researcher="user-r",
+        analysis="delt", group_id="grp", participants=participants,
+        threshold=threshold, proposed_at=0.0)
+    return contract, state, participants
+
+
+class TestThresholdInvariant:
+    @given(n=st.integers(2, 6), data=st.data())
+    @_NO_DEADLINE
+    def test_no_commitment_before_m_approvals(self, n, data):
+        """For any approval order, commitments are refused until M land."""
+        threshold = data.draw(st.integers(1, n), label="threshold")
+        order = data.draw(st.permutations(range(n)), label="order")
+        contract, state, participants = study_fixture(n, threshold)
+        for count, index in enumerate(order):
+            record = contract.invoke_status(state, study_id="study-000001")
+            if count < threshold:
+                # Not yet approved: every commitment attempt must fail
+                # and leave no state behind.
+                assert record["state"] == "proposed"
+                with pytest.raises(StudyError):
+                    contract.invoke_record_commitment(
+                        state, study_id="study-000001", round_tag="r0",
+                        institution=participants[index],
+                        commitment="c", committed_at=float(count))
+                assert contract.invoke_commitments(
+                    state, study_id="study-000001") == {}
+            contract.invoke_approve(state, study_id="study-000001",
+                                    institution=participants[index],
+                                    approved_at=float(count))
+        final = contract.invoke_status(state, study_id="study-000001")
+        assert final["state"] == "approved"
+        assert len(final["approvals"]) == n
+
+    @given(n=st.integers(2, 6), data=st.data())
+    @_NO_DEADLINE
+    def test_duplicate_approvals_never_reach_threshold(self, n, data):
+        """Repeating one institution's approval cannot stand in for M."""
+        threshold = data.draw(st.integers(2, n), label="threshold")
+        repeats = data.draw(st.integers(threshold, 3 * n), label="repeats")
+        contract, state, participants = study_fixture(n, threshold)
+        for k in range(repeats):
+            contract.invoke_approve(state, study_id="study-000001",
+                                    institution=participants[0],
+                                    approved_at=float(k))
+        record = contract.invoke_status(state, study_id="study-000001")
+        assert record["state"] == "proposed"
+        assert len(record["approvals"]) == 1
+        with pytest.raises(StudyError):
+            contract.invoke_record_commitment(
+                state, study_id="study-000001", round_tag="r0",
+                institution=participants[0], commitment="c",
+                committed_at=0.0)
+
+    @given(n=st.integers(2, 6))
+    @_NO_DEADLINE
+    def test_exactly_m_approvals_at_first_commitment(self, n):
+        """The first accepted commitment sees exactly M approvals."""
+        threshold = max(1, n - 1)
+        contract, state, participants = study_fixture(n, threshold)
+        accepted_at = None
+        for count, name in enumerate(participants):
+            try:
+                contract.invoke_record_commitment(
+                    state, study_id="study-000001", round_tag="r0",
+                    institution=name, commitment=f"c-{name}",
+                    committed_at=float(count))
+            except StudyError:
+                pass
+            else:
+                accepted_at = len(contract.invoke_status(
+                    state, study_id="study-000001")["approvals"])
+                break
+            contract.invoke_approve(state, study_id="study-000001",
+                                    institution=name,
+                                    approved_at=float(count))
+        assert accepted_at == threshold

@@ -1,0 +1,118 @@
+"""Unit tests for the secure-aggregation masking primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import IntegrityError, ValidationError
+from repro.crypto.symmetric import generate_key
+from repro.federation import (
+    MODULUS,
+    SCALE,
+    bytes_to_words,
+    combine_masked,
+    decode_vector,
+    encode_vector,
+    mask_vector,
+    mask_words,
+    pair_secret,
+    words_to_bytes,
+)
+
+
+def secrets_for(names, context="study-000001"):
+    """All pairwise secrets, keyed per institution."""
+    keys = {name: generate_key(i * 7 + 1) for i, name in enumerate(names)}
+    return {
+        name: {peer: pair_secret(keys[name], keys[peer], context)
+               for peer in names if peer != name}
+        for name in names
+    }
+
+
+class TestEncoding:
+    def test_roundtrip_floats(self):
+        values = np.array([0.0, 1.5, -2.25, 1e4, -1e4])
+        out = decode_vector(encode_vector(values))
+        np.testing.assert_allclose(out, values, atol=1.0 / SCALE)
+
+    def test_integers_exact(self):
+        values = np.array([0.0, 1.0, 17.0, -42.0, 1000.0])
+        np.testing.assert_array_equal(decode_vector(encode_vector(values)),
+                                      values)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            encode_vector(np.array([1.0, np.nan]))
+        with pytest.raises(ValidationError):
+            encode_vector(np.array([np.inf]))
+
+    def test_words_bytes_roundtrip(self):
+        words = [0, 1, MODULUS - 1, 123456789]
+        assert bytes_to_words(words_to_bytes(words)) == words
+
+    def test_bad_payload_length_rejected(self):
+        with pytest.raises(IntegrityError):
+            bytes_to_words(b"seven b")
+
+
+class TestPairSecrets:
+    def test_symmetric_in_arguments(self):
+        a, b = generate_key(1), generate_key(2)
+        assert pair_secret(a, b, "s") == pair_secret(b, a, "s")
+
+    def test_context_separates_studies(self):
+        a, b = generate_key(1), generate_key(2)
+        assert pair_secret(a, b, "study-1") != pair_secret(a, b, "study-2")
+
+    def test_short_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            pair_secret(b"short", generate_key(1), "s")
+
+
+class TestMaskCancellation:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_masks_cancel_across_parties(self, n):
+        names = [f"inst-{i:02d}" for i in range(n)]
+        secrets = secrets_for(names)
+        rng = np.random.default_rng(9)
+        values = {name: rng.normal(size=12) for name in names}
+        masked = {name: mask_vector(values[name], name, secrets[name],
+                                    "round-0")
+                  for name in names}
+        combined = combine_masked(masked)
+        expected = np.sum([values[name] for name in names], axis=0)
+        np.testing.assert_allclose(combined, expected,
+                                   atol=n * 1.0 / SCALE)
+
+    def test_single_masked_vector_hides_values(self):
+        names = ["inst-00", "inst-01"]
+        secrets = secrets_for(names)
+        values = np.array([3.0, 7.0, 11.0])
+        masked = mask_vector(values, "inst-00", secrets["inst-00"], "r0")
+        # The masked words are not simply the fixed-point encoding.
+        assert masked != encode_vector(values)
+
+    def test_rounds_use_distinct_masks(self):
+        secret = pair_secret(generate_key(1), generate_key(2), "s")
+        assert mask_words(secret, "round-0", 8) != mask_words(secret,
+                                                             "round-1", 8)
+
+    def test_ragged_vectors_rejected(self):
+        with pytest.raises(IntegrityError, match="disagree on length"):
+            combine_masked({"a": [1, 2, 3], "b": [1, 2]})
+
+    def test_empty_combine_rejected(self):
+        with pytest.raises(ValidationError):
+            combine_masked({})
+
+    def test_integer_counts_aggregate_exactly(self):
+        names = ["inst-00", "inst-01", "inst-02"]
+        secrets = secrets_for(names)
+        rng = np.random.default_rng(4)
+        values = {name: rng.integers(0, 50, size=30).astype(float)
+                  for name in names}
+        masked = {name: mask_vector(values[name], name, secrets[name], "c")
+                  for name in names}
+        combined = combine_masked(masked)
+        expected = np.sum([values[name] for name in names], axis=0)
+        np.testing.assert_array_equal(combined, expected)

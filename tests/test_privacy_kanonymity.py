@@ -113,3 +113,33 @@ class TestLadders:
         assert generalize_age(37, 10) == "30-39"
         assert generalize_age(37, 1) == "37"
         assert generalize_age(93, 10) == "90+"
+
+
+class TestInputValidation:
+    def test_non_five_digit_zip_rejected(self):
+        for bad in ("123", "1234567", "0211a", "", "02 15"):
+            with pytest.raises(AnonymizationError):
+                generalize_zip(bad, 1)
+
+    def test_zip_whitespace_normalized(self):
+        assert generalize_zip(" 60601 ", 0) == "60601"
+        assert generalize_zip(" 60601 ", 1) == "606**"
+
+    def test_integer_zip_accepted(self):
+        assert generalize_zip(60601, 1) == "606**"
+
+    def test_missing_qi_column_is_anonymization_error(self):
+        rows = cohort(n=20)
+        del rows[7]["zip"]
+        with pytest.raises(AnonymizationError, match="missing required"):
+            equivalence_classes(rows, ["age", "zip"])
+        with pytest.raises(AnonymizationError, match="missing required"):
+            l_diversity(rows, ["age", "zip"], "dx")
+        with pytest.raises(AnonymizationError, match="missing required"):
+            MondrianAnonymizer(QIS, k=5).anonymize(rows)
+
+    def test_missing_sensitive_column_is_anonymization_error(self):
+        rows = cohort(n=20)
+        del rows[3]["dx"]
+        with pytest.raises(AnonymizationError, match="missing required"):
+            l_diversity(rows, ["age", "zip"], "dx")

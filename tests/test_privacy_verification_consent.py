@@ -140,3 +140,31 @@ class TestConsent:
         record = service.grant("pt-3", "study-a")
         service.revoke(record.consent_id)
         assert service.active_patients_in("study-a") == ["pt-1", "pt-2"]
+
+
+class TestRevocationIdempotency:
+    def test_repeat_revoke_keeps_earliest_timestamp(self):
+        # Revoking twice must not move the revocation point forward: the
+        # audit-relevant fact is when consent *first* ended.
+        clock = SimClock()
+        service = ConsentManagementService(clock)
+        record = service.grant("pt-1", "study-a")
+        clock.advance(10.0)
+        service.revoke(record.consent_id)
+        first = record.revoked_at
+        clock.advance(50.0)
+        service.revoke(record.consent_id)
+        assert record.revoked_at == first
+        assert record.status_at(clock.now) is ConsentStatus.REVOKED
+
+    def test_revoked_window_is_stable_for_history_queries(self):
+        clock = SimClock()
+        service = ConsentManagementService(clock)
+        record = service.grant("pt-1", "study-a")
+        clock.advance(10.0)
+        service.revoke(record.consent_id)
+        clock.advance(50.0)
+        service.revoke(record.consent_id)
+        # A point-in-time query between the two revoke calls must still
+        # see the consent as revoked (it was), not active.
+        assert record.status_at(30.0) is ConsentStatus.REVOKED

@@ -1,6 +1,8 @@
 """Tests for federated identity management."""
 
 import dataclasses
+import hashlib
+import hmac
 
 import pytest
 
@@ -78,3 +80,39 @@ class TestFederation:
         _, _, service, _ = federation
         with pytest.raises(NotFoundError):
             service.link_identity("hospital-idp", "x@y", "user-ghost")
+
+    def test_future_issued_token_rejected(self, federation):
+        # A token claiming to be issued in the future must not validate
+        # merely because it also has not expired yet.
+        _, idp, service, _ = federation
+        token = idp.issue_token("alice@hospital.org")
+        forged = dataclasses.replace(token, issued_at=token.issued_at + 500.0,
+                                     expires_at=token.expires_at + 500.0)
+        signature = hmac.new(b"idp-secret-key", forged.payload(),
+                             hashlib.sha256).digest()
+        forged = dataclasses.replace(forged, signature=signature)
+        with pytest.raises(AuthenticationError, match="not yet valid"):
+            service.authenticate(forged)
+
+    def test_ill_formed_validity_window_rejected(self, federation):
+        # iat > exp is a contradiction; such a token must never authenticate
+        # even when "now" happens to fall before the expiry check.
+        _, idp, service, _ = federation
+        token = idp.issue_token("alice@hospital.org")
+        forged = dataclasses.replace(token, issued_at=token.expires_at + 1.0)
+        signature = hmac.new(b"idp-secret-key", forged.payload(),
+                             hashlib.sha256).digest()
+        forged = dataclasses.replace(forged, signature=signature)
+        with pytest.raises(AuthenticationError, match="iat > exp"):
+            service.authenticate(forged)
+
+    def test_token_becomes_valid_once_clock_catches_up(self, federation):
+        clock, idp, service, user = federation
+        token = idp.issue_token("alice@hospital.org")
+        forged = dataclasses.replace(token, issued_at=token.issued_at + 500.0,
+                                     expires_at=token.expires_at + 500.0)
+        signature = hmac.new(b"idp-secret-key", forged.payload(),
+                             hashlib.sha256).digest()
+        forged = dataclasses.replace(forged, signature=signature)
+        clock.advance(500.0)
+        assert service.authenticate(forged).user_id == user.user_id
